@@ -1,0 +1,143 @@
+// Command attack runs one of the paper's ML-based side-channel attacks
+// end-to-end: collect power traces under a chosen defense, train the MLP on
+// 60% of them, and print the confusion matrix for the held-out test set
+// (§VI-A / Figs 6, 8, 9).
+//
+// Usage:
+//
+//	attack [-experiment apps|videos|pages] [-defense random|constant|gs]
+//	       [-runs 60] [-seconds 24] [-scale 0.15] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/maya-defense/maya/internal/attack"
+	"github.com/maya-defense/maya/internal/core"
+	"github.com/maya-defense/maya/internal/defense"
+	"github.com/maya-defense/maya/internal/sim"
+)
+
+func main() {
+	experiment := flag.String("experiment", "apps", "apps (Fig 6), videos (Fig 8), pages (Fig 9)")
+	defName := flag.String("defense", "gs", "defense: baseline, noisy, random, constant, gs")
+	runs := flag.Int("runs", 60, "traces captured per class")
+	seconds := flag.Float64("seconds", 24, "trace duration")
+	scale := flag.Float64("scale", 0.15, "workload scale factor")
+	seed := flag.Uint64("seed", 1, "base seed")
+	epochs := flag.Int("epochs", 60, "MLP training epochs")
+	attacker := flag.String("attacker", "mlp", "classifier: mlp, template, knn")
+	flag.Parse()
+
+	var kind defense.Kind
+	switch *defName {
+	case "baseline":
+		kind = defense.Baseline
+	case "noisy":
+		kind = defense.NoisyBaseline
+	case "random":
+		kind = defense.RandomInputs
+	case "constant":
+		kind = defense.MayaConstant
+	case "gs":
+		kind = defense.MayaGS
+	default:
+		log.Fatalf("unknown defense %q", *defName)
+	}
+
+	var (
+		cfg      sim.Config
+		classes  []defense.Class
+		spec     attack.Spec
+		outlet   bool
+		attPer   int
+		goalName string
+	)
+	switch *experiment {
+	case "apps":
+		cfg = sim.Sys1()
+		classes = defense.AppClasses(*scale)
+		spec = attack.DefaultSpec()
+		spec.WindowLen = int(*seconds * 50 / 5)
+		attPer = 20
+		goalName = "detect the running application (Fig 6)"
+	case "videos":
+		cfg = sim.Sys2()
+		classes = defense.VideoClasses(*scale * 2)
+		spec = attack.DefaultSpec()
+		spec.WindowLen = int(*seconds * 50 / 5)
+		attPer = 20
+		goalName = "identify the video being encoded (Fig 8)"
+	case "pages":
+		cfg = sim.Sys3()
+		classes = defense.PageClasses(*scale * 8)
+		spec = attack.FFTSpec()
+		spec.WindowLen = 128
+		outlet = true
+		attPer = 50
+		goalName = "identify the webpage visited (Fig 9)"
+	default:
+		log.Fatalf("unknown experiment %q", *experiment)
+	}
+	spec.Train.Epochs = *epochs
+
+	var art *core.Design
+	if kind == defense.MayaConstant || kind == defense.MayaGS {
+		log.Printf("designing Maya controller for %s...", cfg.Name)
+		var err error
+		art, err = core.DesignFor(cfg, core.DefaultDesignOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	log.Printf("collecting %d traces × %d classes under %v on %s...",
+		*runs, len(classes), kind, cfg.Name)
+	start := time.Now()
+	ds, _ := defense.Collect(defense.CollectSpec{
+		Cfg:               cfg,
+		Design:            defense.NewDesign(kind, cfg, art, 20),
+		Classes:           classes,
+		RunsPerClass:      *runs,
+		MaxTicks:          int(*seconds * 1000),
+		WarmupTicks:       2000,
+		AttackPeriodTicks: attPer,
+		Outlet:            outlet,
+		Seed:              *seed,
+	})
+	log.Printf("collected in %.1fs; training the MLP...", time.Since(start).Seconds())
+
+	switch *attacker {
+	case "mlp":
+		res, err := attack.Run(ds, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("attack:   %s (MLP)\n", goalName)
+		fmt.Printf("defense:  %v\n", kind)
+		fmt.Printf("examples: %d (input dim %d)\n", res.Examples, res.InputDim)
+		fmt.Printf("chance:   %.1f%%\n\n", 100*res.Chance)
+		fmt.Print(res.Confusion.String())
+	case "template":
+		acc, err := attack.RunTemplate(ds, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("attack:   %s (templates)\n", goalName)
+		fmt.Printf("defense:  %v\n", kind)
+		fmt.Printf("accuracy: %.1f%% (chance %.1f%%)\n", 100*acc, 100/float64(len(classes)))
+	case "knn":
+		acc, err := attack.RunKNN(ds, spec, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("attack:   %s (5-NN)\n", goalName)
+		fmt.Printf("defense:  %v\n", kind)
+		fmt.Printf("accuracy: %.1f%% (chance %.1f%%)\n", 100*acc, 100/float64(len(classes)))
+	default:
+		log.Fatalf("unknown attacker %q (mlp, template, knn)", *attacker)
+	}
+}

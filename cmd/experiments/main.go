@@ -1,0 +1,157 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated machines and renders an EXPERIMENTS.md-style
+// report.
+//
+// Usage:
+//
+//	experiments [-scale small|paper] [-run regexp] [-seed N] [-o report.md]
+//
+// With no -run filter it executes the complete suite; each section reports
+// the measured numbers next to the paper's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"time"
+
+	"github.com/maya-defense/maya/internal/experiments"
+	"github.com/maya-defense/maya/internal/sim"
+)
+
+type entry struct {
+	name string
+	run  func(sc experiments.Scale, seed uint64) (experiments.Result, error)
+}
+
+func suite() []entry {
+	return []entry{
+		{"fig3", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.Fig3(sim.Sys1(), sc, seed)
+		}},
+		{"fig4", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			d, err := experiments.DesignFor(sim.Sys1())
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig4(d.Band, 50, 6000, seed), nil
+		}},
+		{"table1", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.TableI(sc, seed)
+		}},
+		{"fig6", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.Fig6(sc, seed)
+		}},
+		{"fig7", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.Fig7(sc, seed)
+		}},
+		{"fig8", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.Fig8(sc, seed)
+		}},
+		{"fig9", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.Fig9(sc, seed)
+		}},
+		{"fig10", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.Fig10(sc, seed)
+		}},
+		{"fig11", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.Fig11(sc, seed)
+		}},
+		{"fig12", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.Fig12(sc, seed)
+		}},
+		{"fig13", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.Fig13(sc, seed)
+		}},
+		{"fig14", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.Fig14(sc, seed)
+		}},
+		{"fig15", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.Fig15(sc, seed)
+		}},
+		{"dtw", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.DTWAnalysis(sc, seed)
+		}},
+		{"covert", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.CovertChannel(sc, seed)
+		}},
+		{"thermal", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.Thermal(sc, seed)
+		}},
+		{"toolbox", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.Toolbox(sc, seed)
+		}},
+		{"ablation-masks", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.AblationMasks(sc, seed)
+		}},
+		{"ablation-guardband", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.AblationGuardband(sc, seed)
+		}},
+		{"ablation-nhold", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.AblationNhold(sc, seed)
+		}},
+		{"ablation-actuators", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
+			return experiments.AblationActuators(sc, seed)
+		}},
+	}
+}
+
+func main() {
+	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
+	runFilter := flag.String("run", "", "regexp selecting experiments (e.g. fig6|fig14)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	out := flag.String("o", "", "write the report to this file (default stdout)")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "small":
+		sc = experiments.Small()
+	case "paper":
+		sc = experiments.Paper()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	var filter *regexp.Regexp
+	if *runFilter != "" {
+		var err error
+		filter, err = regexp.Compile(*runFilter)
+		if err != nil {
+			log.Fatalf("bad -run filter: %v", err)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	fmt.Fprintf(w, "# Maya experiments (scale=%s, seed=%d)\n\n", sc.Name, *seed)
+	fmt.Fprintf(w, "Generated %s by cmd/experiments.\n\n", time.Now().Format(time.RFC3339))
+
+	for _, e := range suite() {
+		if filter != nil && !filter.MatchString(e.name) {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run(sc, *seed)
+		if err != nil {
+			fmt.Fprintf(w, "## %s\n\nERROR: %v\n\n", e.name, err)
+			log.Printf("%s failed: %v", e.name, err)
+			continue
+		}
+		fmt.Fprintf(w, "## %s (%s)\n\n```\n%s```\n\n(%.1f s)\n\n",
+			res.ID(), e.name, res.Render(), time.Since(start).Seconds())
+		log.Printf("%s done in %.1fs", e.name, time.Since(start).Seconds())
+	}
+}

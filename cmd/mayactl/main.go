@@ -1,0 +1,243 @@
+// Command mayactl runs one of the Table V defense designs on a simulated
+// machine while it executes a workload, and reports the power trace, the
+// mask targets (for Maya designs), completion time, and energy.
+//
+// Usage:
+//
+//	mayactl [-machine sys1|sys2|sys3] [-defense baseline|noisy|random|constant|gs]
+//	        [-workload blackscholes|video/tractor|web/google|instr/imul|...]
+//	        [-seconds 20] [-scale 0.2] [-seed 1] [-csv out.csv]
+//
+// The CSV output has one row per 20 ms control period:
+// time_s,power_w,target_w,freq_ghz,idle,balloon.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/maya-defense/maya/internal/core"
+	"github.com/maya-defense/maya/internal/defense"
+	"github.com/maya-defense/maya/internal/plot"
+	"github.com/maya-defense/maya/internal/signal"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+func machineConfig(name string) (sim.Config, error) {
+	switch name {
+	case "sys1":
+		return sim.Sys1(), nil
+	case "sys2":
+		return sim.Sys2(), nil
+	case "sys3":
+		return sim.Sys3(), nil
+	}
+	// Anything else is treated as a path to a machine-config JSON file
+	// (start from `mayactl -dump-machine sys1` and tune toward your
+	// hardware's measurements).
+	f, err := os.Open(name)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("unknown machine %q (sys1, sys2, sys3, or a config JSON path)", name)
+	}
+	defer f.Close()
+	return sim.ReadConfigJSON(f)
+}
+
+func defenseKind(name string) (defense.Kind, error) {
+	switch name {
+	case "baseline":
+		return defense.Baseline, nil
+	case "noisy":
+		return defense.NoisyBaseline, nil
+	case "random":
+		return defense.RandomInputs, nil
+	case "constant":
+		return defense.MayaConstant, nil
+	case "gs":
+		return defense.MayaGS, nil
+	}
+	return 0, fmt.Errorf("unknown defense %q (baseline, noisy, random, constant, gs)", name)
+}
+
+func newWorkload(name string, scale float64) (workload.Workload, error) {
+	switch {
+	case strings.HasPrefix(name, "video/"):
+		return workload.NewVideo(strings.TrimPrefix(name, "video/")).Scale(scale), nil
+	case strings.HasPrefix(name, "web/"):
+		return workload.NewPage(strings.TrimPrefix(name, "web/")).Scale(scale), nil
+	case strings.HasPrefix(name, "instr/"):
+		return workload.NewInstrLoop(strings.TrimPrefix(name, "instr/"), 1000), nil
+	case name == "idle":
+		return workload.Idle{}, nil
+	default:
+		for _, n := range workload.AppNames {
+			if n == name {
+				return workload.NewApp(name).Scale(scale), nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q (try %s, video/<name>, web/<name>, instr/<name>, idle)",
+		name, strings.Join(workload.AppNames, ", "))
+}
+
+func main() {
+	machine := flag.String("machine", "sys1", "machine preset")
+	defName := flag.String("defense", "gs", "defense design")
+	wlName := flag.String("workload", "blackscholes", "workload to protect")
+	seconds := flag.Float64("seconds", 20, "recorded duration")
+	scale := flag.Float64("scale", 0.2, "workload scale factor")
+	seed := flag.Uint64("seed", 1, "run seed (the defense's secret)")
+	csvPath := flag.String("csv", "", "write the per-period trace to this CSV file")
+	stopOnFinish := flag.Bool("stop-on-finish", false, "end when the workload completes")
+	showPlot := flag.Bool("plot", false, "render the trace (and mask overlay) as ASCII")
+	dumpMachine := flag.String("dump-machine", "", "print a machine preset as JSON and exit")
+	list := flag.Bool("list", false, "list the built-in workloads and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-22s %-14s %8s  %s\n", "workload", "suite", "~runtime", "description")
+		for _, e := range workload.Catalog() {
+			rt := "∞"
+			if e.BaselineSeconds > 0 {
+				rt = fmt.Sprintf("%.0f s", e.BaselineSeconds)
+			}
+			fmt.Printf("%-22s %-14s %8s  %s\n", e.Name, e.Suite, rt, e.Description)
+		}
+		return
+	}
+
+	if *dumpMachine != "" {
+		cfg, err := machineConfig(*dumpMachine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cfg.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	cfg, err := machineConfig(*machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := defenseKind(*defName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := newWorkload(*wlName, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var art *core.Design
+	if kind == defense.MayaConstant || kind == defense.MayaGS {
+		log.Printf("designing Maya controller for %s (system identification + synthesis)...", cfg.Name)
+		art, err = core.DesignFor(cfg, core.DefaultDesignOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("controller: dim=%d, band=[%.1f, %.1f] W, closed-loop ρ=%.3f",
+			art.Controller.Dim(), art.Band.Min, art.Band.Max, art.Report.ClosedLoopRadius)
+	}
+
+	m := sim.NewMachine(cfg, *seed)
+	w.Reset(*seed + 1)
+	pol := defense.NewDesign(kind, cfg, art, 20).Policy(*seed + 2)
+	res := sim.Run(m, w, pol, sim.RunSpec{
+		ControlPeriodTicks: 20,
+		MaxTicks:           int(*seconds * 1000),
+		WarmupTicks:        2000,
+		StopOnFinish:       *stopOnFinish,
+	})
+
+	var targets []float64
+	if eng, ok := pol.(*core.Engine); ok {
+		t := eng.MaskTargets()
+		if res.FirstStep < len(t) {
+			targets = t[res.FirstStep:]
+		}
+	}
+
+	fmt.Printf("machine:   %s (%d cores, %.1f–%.1f GHz, TDP %.0f W)\n",
+		cfg.Name, cfg.Cores, cfg.FminGHz, cfg.FmaxGHz, cfg.TDP)
+	fmt.Printf("defense:   %s\n", kind)
+	fmt.Printf("workload:  %s (scale %.2f)\n", *wlName, *scale)
+	fmt.Printf("duration:  %.1f s simulated\n", res.Seconds)
+	if res.FinishedTick >= 0 {
+		fmt.Printf("finished:  %.1f s\n", float64(res.FinishedTick)/1000)
+	} else {
+		fmt.Printf("finished:  no (still running at cutoff)\n")
+	}
+	fmt.Printf("energy:    %.1f J (avg %.1f W)\n", res.EnergyJ, res.EnergyJ/res.Seconds)
+	if len(targets) > 0 {
+		n := len(res.DefenseSamples)
+		if len(targets) < n {
+			n = len(targets)
+		}
+		fmt.Printf("tracking:  MAD %.2f W over %d periods\n",
+			signal.MeanAbsDeviation(res.DefenseSamples[:n], targets[:n]), n)
+	}
+	b := signal.Box(res.DefenseSamples)
+	fmt.Printf("power:     median %.1f W, IQR %.1f W, range [%.1f, %.1f] W\n",
+		b.Median, b.IQR(), b.Min, b.Max)
+
+	if *showPlot {
+		fmt.Println("\npower trace ('#'):")
+		if len(targets) > 0 {
+			fmt.Println("overlay with mask target ('1' power only, '2' target only, '#' both):")
+			fmt.Print(plot.Overlay(res.DefenseSamples, targets, 100, 10))
+		} else {
+			fmt.Print(plot.Line(res.DefenseSamples, 100, 10))
+		}
+		fmt.Println("\npower distribution:")
+		fmt.Print(plot.Histogram(res.DefenseSamples, 12, 50))
+	}
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, res, targets); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace:     %s (%d rows)\n", *csvPath, len(res.DefenseSamples))
+	}
+}
+
+func writeCSV(path string, res sim.RunResult, targets []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	defer cw.Flush()
+	if err := cw.Write([]string{"time_s", "power_w", "target_w", "freq_ghz", "idle", "balloon"}); err != nil {
+		return err
+	}
+	for i, p := range res.DefenseSamples {
+		row := []string{
+			strconv.FormatFloat(float64(i)*0.02, 'f', 2, 64),
+			strconv.FormatFloat(p, 'f', 3, 64),
+			"",
+			"", "", "",
+		}
+		if i < len(targets) {
+			row[2] = strconv.FormatFloat(targets[i], 'f', 3, 64)
+		}
+		if i < len(res.InputTrace) {
+			in := res.InputTrace[i]
+			row[3] = strconv.FormatFloat(in.FreqGHz, 'f', 1, 64)
+			row[4] = strconv.FormatFloat(in.Idle, 'f', 2, 64)
+			row[5] = strconv.FormatFloat(in.Balloon, 'f', 1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

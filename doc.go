@@ -1,0 +1,10 @@
+// Package maya is a from-scratch Go reproduction of "Maya: Using Formal
+// Control to Obfuscate Power Side Channels" (Pothukuchi, Pothukuchi,
+// Voulgaris, Schwing, Torrellas — ISCA 2021).
+//
+// The implementation lives under internal/ (one package per subsystem, see
+// DESIGN.md for the inventory), the runnable demos under examples/, and the
+// command-line tools under cmd/. The root package exists to host the
+// repository-level benchmark harness (bench_test.go), which regenerates
+// every table and figure of the paper's evaluation.
+package maya

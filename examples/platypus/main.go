@@ -1,0 +1,56 @@
+// platypus demonstrates the §VII-F experiment: PLATYPUS-style attacks read
+// RAPL counters to distinguish which instruction a tight loop executes
+// (imul vs mov vs xor draw measurably different power). With Maya GS the
+// averaged profiles become indistinguishable.
+//
+//	go run ./examples/platypus
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/maya-defense/maya/internal/core"
+	"github.com/maya-defense/maya/internal/defense"
+	"github.com/maya-defense/maya/internal/signal"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+func main() {
+	cfg := sim.Sys1()
+	fmt.Println("designing Maya for", cfg.Name, "...")
+	art, err := core.DesignFor(cfg, core.DefaultDesignOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const runs = 100 // the paper averages 200 repetitions
+	classes := defense.InstrClasses(1000)
+
+	for _, kind := range []defense.Kind{defense.Baseline, defense.MayaGS} {
+		fmt.Printf("\n== %v: averaging %d runs of 1 s per instruction\n", kind, runs)
+		ds, _ := defense.Collect(defense.CollectSpec{
+			Cfg:          cfg,
+			Design:       defense.NewDesign(kind, cfg, art, 20),
+			Classes:      classes,
+			RunsPerClass: runs,
+			MaxTicks:     1000,
+			WarmupTicks:  2000,
+			Seed:         9000 * uint64(kind+1),
+		})
+		byl := ds.ByLabel()
+		for l, name := range workload.InstrNames {
+			var traces [][]float64
+			for _, i := range byl[l] {
+				traces = append(traces, ds.Traces[i].Samples)
+			}
+			avg := signal.AverageTraces(traces)
+			fmt.Printf("  %-5s averaged power %.2f W (σ %.3f W)\n",
+				name, signal.Mean(avg), signal.StdDev(avg))
+		}
+	}
+	fmt.Println("\nbaseline: the multiplier's switching activity separates imul > mov > xor")
+	fmt.Println("— the exact per-instruction power difference PLATYPUS measures. Under")
+	fmt.Println("Maya GS the averages collapse to the mask's mean (Fig 15).")
+}

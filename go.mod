@@ -1,0 +1,3 @@
+module github.com/maya-defense/maya
+
+go 1.22

@@ -1,0 +1,84 @@
+package actuator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/maya-defense/maya/internal/rng"
+)
+
+func TestQuantizeSnapAndClamp(t *testing.T) {
+	k := NewKnob("dvfs", 1.2, 2.0, 0.1)
+	cases := []struct{ in, want float64 }{
+		{1.23, 1.2}, {1.26, 1.3}, {0.5, 1.2}, {9, 2.0}, {1.95, 2.0}, {1.2, 1.2},
+	}
+	for _, c := range cases {
+		if got := k.Quantize(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Quantize(%g)=%g want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	if got := NewKnob("dvfs", 1.2, 2.0, 0.1).Levels(); got != 9 {
+		t.Fatalf("dvfs levels=%d want 9", got)
+	}
+	if got := StandardIdle().Levels(); got != 13 {
+		t.Fatalf("idle levels=%d want 13 (0..48%% by 4%%)", got)
+	}
+	if got := StandardBalloon().Levels(); got != 11 {
+		t.Fatalf("balloon levels=%d want 11 (0..100%% by 10%%)", got)
+	}
+}
+
+func TestNormRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		k := DVFSKnob(0.8, 3.5)
+		x := r.Float64()
+		v := k.FromNorm(x)
+		// Quantized value must be a legal ladder setting within range.
+		if v < k.Min-1e-9 || v > k.Max+1e-9 {
+			return false
+		}
+		steps := (v - k.Min) / k.Step
+		if math.Abs(steps-math.Round(steps)) > 1e-6 {
+			return false
+		}
+		// Round-tripping through norm space must be idempotent.
+		return math.Abs(k.FromNorm(k.ToNorm(v))-v) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromNormClamps(t *testing.T) {
+	k := StandardIdle()
+	if k.FromNorm(-3) != 0 {
+		t.Fatal("negative norm should clamp to min")
+	}
+	if math.Abs(k.FromNorm(5)-0.48) > 1e-9 {
+		t.Fatal("norm > 1 should clamp to max")
+	}
+}
+
+func TestSetVectorOrdering(t *testing.T) {
+	s := Set{DVFS: DVFSKnob(1.2, 2.0), Idle: StandardIdle(), Balloon: StandardBalloon()}
+	u := s.Norms(2.0, 0, 1.0)
+	if u[0] != 1 || u[1] != 0 || u[2] != 1 {
+		t.Fatalf("norms=%v", u)
+	}
+	d, i, b := s.FromNorms([3]float64{0, 1, 0.5})
+	if d != 1.2 || math.Abs(i-0.48) > 1e-9 || math.Abs(b-0.5) > 1e-9 {
+		t.Fatalf("FromNorms=(%g,%g,%g)", d, i, b)
+	}
+}
+
+func TestZeroStepKnob(t *testing.T) {
+	k := NewKnob("fixed", 5, 5, 0)
+	if k.Levels() != 1 || k.Quantize(99) != 5 || k.ToNorm(5) != 0 {
+		t.Fatal("degenerate knob misbehaves")
+	}
+}

@@ -1,0 +1,229 @@
+// Package attack implements the paper's machine-learning side-channel
+// attacks (§VI-A): turn captured power traces into MLP training examples,
+// train the classifier on traces captured *with the defense on* (the
+// adaptive-attacker assumption of §VI-B), and report confusion matrices.
+//
+// Two feature pipelines are provided, matching the paper:
+//
+//   - Quantized windows: segments of the trace are block-averaged ("average
+//     the 5 consecutive measurements ... to remove the effects of noise"),
+//     quantized into 10 power levels, and one-hot encoded — used for the
+//     application- and video-identification attacks.
+//   - FFT magnitudes: the window's one-sided spectrum — used for the
+//     webpage attack, "because browser activity has varying rates of change
+//     in a short duration. The FFT captures it better."
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/maya-defense/maya/internal/nn"
+	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/signal"
+	"github.com/maya-defense/maya/internal/trace"
+)
+
+// Features selects the feature pipeline.
+type Features int
+
+const (
+	// QuantizedWindows one-hot encodes block-averaged, quantized windows.
+	QuantizedWindows Features = iota
+	// FFTMagnitudes uses the window's magnitude spectrum.
+	FFTMagnitudes
+	// SpectrogramBands uses a short-time Fourier transform of the window
+	// and keeps per-frame band energies — the time-frequency view §II-A2
+	// describes ("phase behavior and peak locations over time, and its
+	// frequency spectrum").
+	SpectrogramBands
+)
+
+// Spec configures an attack.
+type Spec struct {
+	// Features selects the pipeline.
+	Features Features
+	// AvgBlock averages this many consecutive samples first (paper: 5).
+	// Ignored (treated as 1) when < 2.
+	AvgBlock int
+	// WindowLen is the number of post-averaging samples per example.
+	WindowLen int
+	// Levels is the quantization level count (paper: 10).
+	Levels int
+	// Hidden holds the MLP hidden layer sizes.
+	Hidden []int
+	// Train overrides training configuration; zero value uses defaults.
+	Train nn.TrainConfig
+	// Seed drives weight init and the train/val/test split.
+	Seed uint64
+}
+
+// DefaultSpec returns the window-feature attack configuration used by the
+// application- and video-identification experiments.
+func DefaultSpec() Spec {
+	return Spec{
+		Features:  QuantizedWindows,
+		AvgBlock:  5,
+		WindowLen: 100,
+		Levels:    10,
+		Hidden:    []int{64, 32},
+		Train:     nn.DefaultTrainConfig(),
+		Seed:      1,
+	}
+}
+
+// FFTSpec returns the FFT-feature attack configuration used by the webpage
+// experiment.
+func FFTSpec() Spec {
+	s := DefaultSpec()
+	s.Features = FFTMagnitudes
+	s.AvgBlock = 1
+	s.WindowLen = 128
+	return s
+}
+
+// SpectrogramSpec returns the time-frequency attack configuration: STFT
+// frames of 64 samples hopped by 32, reduced to four band energies each.
+func SpectrogramSpec() Spec {
+	s := DefaultSpec()
+	s.Features = SpectrogramBands
+	s.AvgBlock = 1
+	s.WindowLen = 512
+	return s
+}
+
+// Result reports an attack's outcome.
+type Result struct {
+	Confusion *nn.ConfusionMatrix
+	// AverageAccuracy is the mean diagonal of the confusion matrix — the
+	// paper's headline number per experiment.
+	AverageAccuracy float64
+	// Chance is 1/numClasses, the failure floor.
+	Chance float64
+	// Examples counts the feature vectors derived from the dataset.
+	Examples int
+	// InputDim is the MLP input size.
+	InputDim int
+}
+
+// Run executes the full pipeline on a captured dataset: featurize, split
+// 60/20/20, train, and evaluate on the held-out test set.
+func Run(ds *trace.Dataset, spec Spec) (*Result, error) {
+	examples, inputDim, err := Featurize(ds, spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(examples) < 10 {
+		return nil, fmt.Errorf("attack: only %d examples; traces too short for window %d", len(examples), spec.WindowLen)
+	}
+	r := rng.NewNamed(spec.Seed, "attack")
+	train, val, test := nn.Split(r, examples, 0.6, 0.2)
+
+	sizes := append([]int{inputDim}, spec.Hidden...)
+	sizes = append(sizes, ds.NumClasses())
+	cfg := spec.Train
+	if cfg.Epochs == 0 {
+		cfg = nn.DefaultTrainConfig()
+	}
+	// Train with two random restarts and keep the better network by
+	// validation accuracy: gradient training occasionally collapses on
+	// small one-hot datasets, and a real attacker simply retrains.
+	var best *nn.MLP
+	bestVal := -1.0
+	for restart := 0; restart < 2; restart++ {
+		rr := rng.NewNamed(spec.Seed+uint64(restart)*7919, "attack/restart")
+		m := nn.NewMLP(rr, sizes...)
+		m.Train(rr, train, val, cfg)
+		if acc := m.Accuracy(val); acc > bestVal {
+			best, bestVal = m, acc
+		}
+	}
+
+	cm := nn.Confusion(best, test, ds.ClassNames)
+	return &Result{
+		Confusion:       cm,
+		AverageAccuracy: cm.AverageAccuracy(),
+		Chance:          1 / float64(ds.NumClasses()),
+		Examples:        len(examples),
+		InputDim:        inputDim,
+	}, nil
+}
+
+// Featurize converts a dataset into MLP examples according to the spec,
+// returning the examples and the input dimension.
+func Featurize(ds *trace.Dataset, spec Spec) ([]nn.Example, int, error) {
+	if spec.WindowLen <= 0 {
+		return nil, 0, errors.New("attack: non-positive window length")
+	}
+	if spec.Levels < 2 && spec.Features == QuantizedWindows {
+		return nil, 0, errors.New("attack: need at least 2 quantization levels")
+	}
+	// Global quantizer range across the whole dataset, as an attacker with
+	// the full capture would calibrate it.
+	lo, hi := ds.PowerRange()
+	if hi <= lo {
+		hi = lo + 1
+	}
+	q := signal.NewQuantizer(lo, hi, max(spec.Levels, 2))
+
+	var examples []nn.Example
+	inputDim := 0
+	for _, tr := range ds.Traces {
+		samples := tr.Samples
+		if spec.AvgBlock > 1 {
+			samples = signal.AverageBlocks(samples, spec.AvgBlock)
+		}
+		for _, w := range signal.Windows(samples, spec.WindowLen) {
+			var x []float64
+			switch spec.Features {
+			case QuantizedWindows:
+				x = signal.OneHot(q.Apply(w), q.Levels)
+			case SpectrogramBands:
+				sampleHz := 1000 / tr.PeriodMS / float64(max(spec.AvgBlock, 1))
+				sg := signal.STFT(w, sampleHz, 64, 32)
+				nyq := sampleHz / 2
+				scale := (hi - lo) * (hi - lo)
+				// Four octave-ish bands per frame plus the frame means.
+				bands := [][2]float64{
+					{0, nyq / 8}, {nyq / 8, nyq / 4}, {nyq / 4, nyq / 2}, {nyq / 2, nyq},
+				}
+				x = make([]float64, 0, 4*sg.Frames())
+				for _, b := range bands {
+					for _, e := range sg.BandEnergy(b[0], b[1]) {
+						x = append(x, e/scale)
+					}
+				}
+			case FFTMagnitudes:
+				sampleHz := 1000 / tr.PeriodMS / float64(max(spec.AvgBlock, 1))
+				_, mags := signal.Spectrum(w, sampleHz)
+				// Scale by the dataset's global power range (not the
+				// window's own peak) and prepend the window mean: both the
+				// spectral shape and the absolute level carry class
+				// information.
+				scale := hi - lo
+				x = make([]float64, 0, len(mags)+1)
+				x = append(x, (signal.Mean(w)-lo)/scale)
+				for _, m := range mags {
+					x = append(x, m/scale*4)
+				}
+			default:
+				return nil, 0, fmt.Errorf("attack: unknown feature kind %d", spec.Features)
+			}
+			if inputDim == 0 {
+				inputDim = len(x)
+			}
+			if len(x) != inputDim {
+				return nil, 0, errors.New("attack: inconsistent feature dimensions")
+			}
+			examples = append(examples, nn.Example{X: x, Y: tr.Label})
+		}
+	}
+	return examples, inputDim, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

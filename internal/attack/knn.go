@@ -1,0 +1,95 @@
+package attack
+
+import (
+	"errors"
+	"sort"
+
+	"github.com/maya-defense/maya/internal/nn"
+	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/trace"
+)
+
+// KNNClassifier is the instance-based attacker: classify a trace by the
+// majority label among its k nearest training examples in feature space.
+// Together with the MLP (learning), templates (statistics), and DTW
+// (signal processing), it completes the §III attacker toolbox.
+type KNNClassifier struct {
+	k        int
+	examples []nn.Example
+}
+
+// FitKNN stores the training set. k must be odd to avoid ties in binary
+// problems; any positive k is accepted.
+func FitKNN(examples []nn.Example, k int) (*KNNClassifier, error) {
+	if len(examples) == 0 {
+		return nil, errors.New("attack: no examples")
+	}
+	if k < 1 {
+		return nil, errors.New("attack: k must be positive")
+	}
+	if k > len(examples) {
+		k = len(examples)
+	}
+	return &KNNClassifier{k: k, examples: examples}, nil
+}
+
+// Predict returns the majority label among the k nearest neighbours
+// (Euclidean distance; ties broken toward the closer neighbour set).
+func (c *KNNClassifier) Predict(x []float64) int {
+	type cand struct {
+		d float64
+		y int
+	}
+	cands := make([]cand, 0, len(c.examples))
+	for _, ex := range c.examples {
+		d := 0.0
+		for j := range x {
+			dv := x[j] - ex.X[j]
+			d += dv * dv
+		}
+		cands = append(cands, cand{d: d, y: ex.Y})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	votes := map[int]int{}
+	best, bestVotes := cands[0].y, 0
+	for i := 0; i < c.k && i < len(cands); i++ {
+		votes[cands[i].y]++
+		if votes[cands[i].y] > bestVotes {
+			best, bestVotes = cands[i].y, votes[cands[i].y]
+		}
+	}
+	return best
+}
+
+// Accuracy evaluates the classifier.
+func (c *KNNClassifier) Accuracy(examples []nn.Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ex := range examples {
+		if c.Predict(ex.X) == ex.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}
+
+// RunKNN executes the kNN attack end-to-end with the shared featurization,
+// returning the test-set accuracy.
+func RunKNN(ds *trace.Dataset, spec Spec, k int) (float64, error) {
+	examples, _, err := Featurize(ds, spec)
+	if err != nil {
+		return 0, err
+	}
+	if len(examples) < 10 {
+		return 0, errors.New("attack: too few examples for kNN")
+	}
+	r := rng.NewNamed(spec.Seed, "attack/knn")
+	train, _, test := nn.Split(r, examples, 0.6, 0.2)
+	c, err := FitKNN(train, k)
+	if err != nil {
+		return 0, err
+	}
+	return c.Accuracy(test), nil
+}

@@ -1,0 +1,148 @@
+package attack
+
+import (
+	"errors"
+	"math"
+
+	"github.com/maya-defense/maya/internal/nn"
+	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/trace"
+)
+
+// TemplateClassifier is the classical statistical attacker of §II-A2: it
+// builds a per-class template (mean feature vector and per-dimension
+// variance) from training traces and classifies by maximum Gaussian
+// likelihood — equivalently, minimum variance-normalized distance. It is
+// weaker than the MLP but needs far less data and is the staple of
+// pre-deep-learning side-channel work (template attacks / CPA ancestry).
+type TemplateClassifier struct {
+	classes int
+	mean    [][]float64
+	varr    [][]float64
+}
+
+// FitTemplates builds templates from labeled examples.
+func FitTemplates(examples []nn.Example, classes int) (*TemplateClassifier, error) {
+	if classes < 2 {
+		return nil, errors.New("attack: need at least two classes")
+	}
+	if len(examples) == 0 {
+		return nil, errors.New("attack: no examples")
+	}
+	dim := len(examples[0].X)
+	tc := &TemplateClassifier{classes: classes}
+	counts := make([]int, classes)
+	tc.mean = make([][]float64, classes)
+	tc.varr = make([][]float64, classes)
+	for c := 0; c < classes; c++ {
+		tc.mean[c] = make([]float64, dim)
+		tc.varr[c] = make([]float64, dim)
+	}
+	for _, ex := range examples {
+		if ex.Y < 0 || ex.Y >= classes {
+			return nil, errors.New("attack: label out of range")
+		}
+		if len(ex.X) != dim {
+			return nil, errors.New("attack: inconsistent feature dimension")
+		}
+		counts[ex.Y]++
+		for j, v := range ex.X {
+			tc.mean[ex.Y][j] += v
+		}
+	}
+	for c := 0; c < classes; c++ {
+		if counts[c] == 0 {
+			return nil, errors.New("attack: a class has no training examples")
+		}
+		for j := range tc.mean[c] {
+			tc.mean[c][j] /= float64(counts[c])
+		}
+	}
+	for _, ex := range examples {
+		for j, v := range ex.X {
+			d := v - tc.mean[ex.Y][j]
+			tc.varr[ex.Y][j] += d * d
+		}
+	}
+	for c := 0; c < classes; c++ {
+		for j := range tc.varr[c] {
+			tc.varr[c][j] = tc.varr[c][j]/float64(counts[c]) + 1e-6
+		}
+	}
+	return tc, nil
+}
+
+// Predict returns the class whose template is nearest in
+// variance-normalized distance.
+func (t *TemplateClassifier) Predict(x []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c < t.classes; c++ {
+		d := 0.0
+		for j, v := range x {
+			dv := v - t.mean[c][j]
+			d += dv * dv / t.varr[c][j]
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Accuracy evaluates the templates on examples.
+func (t *TemplateClassifier) Accuracy(examples []nn.Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, ex := range examples {
+		if t.Predict(ex.X) == ex.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}
+
+// RunTemplate executes the template attack end-to-end on a dataset with the
+// same featurization as the MLP attack, returning test-set accuracy. It is
+// the second attacker implementation the threat model calls for ("machine
+// learning, signal processing, and statistics", §III).
+func RunTemplate(ds *trace.Dataset, spec Spec) (float64, error) {
+	examples, _, err := Featurize(ds, spec)
+	if err != nil {
+		return 0, err
+	}
+	if len(examples) < 10 {
+		return 0, errors.New("attack: too few examples for templates")
+	}
+	r := rng.NewNamed(spec.Seed, "attack/template")
+	train, _, test := nn.Split(r, examples, 0.6, 0.2)
+	tc, err := FitTemplates(train, ds.NumClasses())
+	if err != nil {
+		return 0, err
+	}
+	return tc.Accuracy(test), nil
+}
+
+// MeanTemplateDistance reports how far apart the class templates are in
+// variance-normalized units — a dataset-level separability score usable
+// without a test split.
+func (t *TemplateClassifier) MeanTemplateDistance() float64 {
+	var sum float64
+	pairs := 0
+	for a := 0; a < t.classes; a++ {
+		for b := a + 1; b < t.classes; b++ {
+			d := 0.0
+			for j := range t.mean[a] {
+				dv := t.mean[a][j] - t.mean[b][j]
+				d += dv * dv / (0.5*t.varr[a][j] + 0.5*t.varr[b][j])
+			}
+			sum += math.Sqrt(d / float64(len(t.mean[a])))
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return sum / float64(pairs)
+}

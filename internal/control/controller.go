@@ -1,0 +1,270 @@
+package control
+
+import (
+	"fmt"
+
+	"github.com/maya-defense/maya/internal/mat"
+)
+
+// Controller is the runtime state machine of Eq. 1:
+//
+//	x(T+1) = A·x(T) + B·Δy(T)
+//	u(T)   = C·x(T) + D·Δy(T)
+//
+// operating on the scalar tracking error Δy = r − y and producing the
+// normalized input vector u ∈ [0,1]^nu. The matrices are produced by
+// Synthesize. Saturation of u to [0,1] and integrator anti-windup are the
+// only nonlinearities; in the unsaturated region Step is exactly the linear
+// recursion above (verified by tests against Matrices()).
+//
+// Internally the state is structured as [x̂ (plant estimate); d̂ (output
+// disturbance estimate); z (error integrator); u_prev (last input,
+// deviation coords)].
+type Controller struct {
+	// Plant model pieces (deviation coordinates).
+	a, b, c *mat.Matrix
+	// Gains.
+	kx      *mat.Matrix // nu × n state feedback
+	ku      *mat.Matrix // nu × nu input-memory feedback
+	kz      []float64   // nu integrator feedback
+	lx      []float64   // n observer gain (plant states)
+	ld      float64     // observer gain (disturbance state)
+	uMean   []float64   // operating point of inputs (norm space)
+	yMean   float64
+	n, nu   int
+	flopEst int
+
+	// Mutable state.
+	xhat  []float64
+	dhat  float64
+	z     float64
+	uPrev []float64 // deviation coordinates
+
+	// Scratch buffers (Step allocates nothing).
+	xNext, bu, v, uOut, kxX []float64
+}
+
+// Dim returns the controller state dimension (paper §V-A: 11 with their
+// µ-synthesis weights; 9 for this LQG servo structure with an order-4
+// model).
+func (k *Controller) Dim() int { return k.n + 2 + k.nu }
+
+// NumInputs returns the number of actuated inputs.
+func (k *Controller) NumInputs() int { return k.nu }
+
+// StorageBytes returns the bytes of constant matrices plus mutable state —
+// the paper reports "less than 1 Kbyte of storage" (§VII-E).
+func (k *Controller) StorageBytes() int {
+	consts := k.n*k.n + k.n*k.nu + k.n + // a, b, c
+		k.nu*k.n + k.nu*k.nu + k.nu + // kx, ku, kz
+		k.n + 1 + // lx, ld
+		k.nu + 1 // uMean, yMean
+	state := k.n + 1 + 1 + k.nu
+	return 8 * (consts + state)
+}
+
+// Ops returns an estimate of multiply-accumulate operations per Step
+// (paper §VII-E: ≈200 fixed-point operations).
+func (k *Controller) Ops() int { return k.flopEst }
+
+// Reset zeroes the controller state. The first inputs emitted after a reset
+// sit at the identified operating point.
+func (k *Controller) Reset() {
+	for i := range k.xhat {
+		k.xhat[i] = 0
+	}
+	k.dhat, k.z = 0, 0
+	for i := range k.uPrev {
+		k.uPrev[i] = 0
+	}
+}
+
+// Step consumes the tracking error Δy(T) = target − measured and returns
+// the next normalized inputs u ∈ [0,1]^nu. The returned slice is reused
+// across calls; callers must copy it if they retain it.
+func (k *Controller) Step(deltaY float64) []float64 {
+	// Innovation: measurement is m = y − r = −Δy; predicted m̂ = C x̂ + d̂.
+	cx := 0.0
+	for j := 0; j < k.n; j++ {
+		cx += k.c.At(0, j) * k.xhat[j]
+	}
+	nu := -deltaY - cx - k.dhat
+
+	// Integrator (provisional; anti-windup may pull it back).
+	zNew := k.z + deltaY
+
+	// Input rate v = −Kx x̂ − Ku u_prev − Kz z.
+	k.kx.MulVecTo(k.kxX, k.xhat)
+	k.ku.MulVecTo(k.v, k.uPrev)
+	for j := 0; j < k.nu; j++ {
+		k.v[j] = -k.kxX[j] - k.v[j] - k.kz[j]*zNew
+	}
+
+	// Raw and saturated inputs (normalized space).
+	sat := false
+	for j := 0; j < k.nu; j++ {
+		raw := k.uPrev[j] + k.v[j] + k.uMean[j]
+		clipped := raw
+		if clipped < 0 {
+			clipped = 0
+		}
+		if clipped > 1 {
+			clipped = 1
+		}
+		if clipped != raw {
+			sat = true
+		}
+		k.uOut[j] = clipped
+	}
+
+	// Anti-windup: back-calculate the integrator only when the loop is
+	// genuinely out of authority — i.e., no input can still move in the
+	// direction the integrator is pushing it. (Back-calculating whenever
+	// any single input clips would freeze integral action for the other,
+	// unsaturated inputs: with three actuators of very different ranges
+	// one of them is pinned much of the time.)
+	if sat {
+		exhausted := true
+		for j := 0; j < k.nu; j++ {
+			want := -k.kz[j] * zNew // direction the integrator pushes input j
+			if (want > 0 && k.uOut[j] < 1) || (want < 0 && k.uOut[j] > 0) {
+				exhausted = false
+				break
+			}
+		}
+		if exhausted {
+			num, den := 0.0, 1e-12
+			for j := 0; j < k.nu; j++ {
+				raw := k.uPrev[j] + k.v[j] + k.uMean[j]
+				num += k.kz[j] * (raw - k.uOut[j])
+				den += k.kz[j] * k.kz[j]
+			}
+			zNew += num / den
+		}
+	}
+	k.z = zNew
+
+	// Observer predict with the input actually applied.
+	for j := 0; j < k.nu; j++ {
+		k.v[j] = k.uOut[j] - k.uMean[j] // u deviation actually in force
+	}
+	k.a.MulVecTo(k.xNext, k.xhat)
+	k.b.MulVecTo(k.bu, k.v)
+	for i := 0; i < k.n; i++ {
+		k.xNext[i] += k.bu[i] + k.lx[i]*nu
+	}
+	copy(k.xhat, k.xNext)
+	k.dhat += k.ld * nu
+
+	for j := 0; j < k.nu; j++ {
+		k.uPrev[j] = k.uOut[j] - k.uMean[j]
+	}
+	return k.uOut
+}
+
+// Matrices assembles the equivalent Eq. 1 matrices (A, B, C, D) of the
+// controller's linear (unsaturated) behaviour, with state ordering
+// [x̂; d̂; z; u_prev] and deviation-coordinate outputs (add UMean for the
+// normalized inputs). Exposed for verification, for export, and because the
+// paper defines the controller by these matrices.
+func (k *Controller) Matrices() (A, B, C, D *mat.Matrix) {
+	n, nu := k.n, k.nu
+	dim := n + 2 + nu
+	A = mat.New(dim, dim)
+	B = mat.New(dim, 1)
+	C = mat.New(nu, dim)
+	D = mat.New(nu, 1)
+
+	// Output rows: u_dev = −Kx x̂ − Kz d̂·0 − Kz (z + e) + (I − Ku) u_prev.
+	for j := 0; j < nu; j++ {
+		for i := 0; i < n; i++ {
+			C.Set(j, i, -k.kx.At(j, i))
+		}
+		C.Set(j, n+1, -k.kz[j]) // z column
+		for i := 0; i < nu; i++ {
+			idm := 0.0
+			if i == j {
+				idm = 1
+			}
+			C.Set(j, n+2+i, idm-k.ku.At(j, i))
+		}
+		D.Set(j, 0, -k.kz[j]) // direct term via the integrator update
+	}
+
+	// ν = −e − C x̂ − d̂.
+	// x̂⁺ = A x̂ + B u_dev + Lx ν.
+	for i := 0; i < n; i++ {
+		for jj := 0; jj < n; jj++ {
+			A.Set(i, jj, k.a.At(i, jj)-k.lx[i]*k.c.At(0, jj))
+		}
+		A.Set(i, n, A.At(i, n)-k.lx[i]) // d̂ column
+		// B u_dev contribution: expand u_dev rows from C/D.
+		for col := 0; col < dim; col++ {
+			s := 0.0
+			for j := 0; j < nu; j++ {
+				s += k.b.At(i, j) * C.At(j, col)
+			}
+			A.Set(i, col, A.At(i, col)+s)
+		}
+		bs := 0.0
+		for j := 0; j < nu; j++ {
+			bs += k.b.At(i, j) * D.At(j, 0)
+		}
+		B.Set(i, 0, bs-k.lx[i])
+	}
+
+	// d̂⁺ = d̂ + Ld ν.
+	for jj := 0; jj < n; jj++ {
+		A.Set(n, jj, -k.ld*k.c.At(0, jj))
+	}
+	A.Set(n, n, 1-k.ld)
+	B.Set(n, 0, -k.ld)
+
+	// z⁺ = z + e.
+	A.Set(n+1, n+1, 1)
+	B.Set(n+1, 0, 1)
+
+	// u_prev⁺ = u_dev.
+	for j := 0; j < nu; j++ {
+		for col := 0; col < dim; col++ {
+			A.Set(n+2+j, col, C.At(j, col))
+		}
+		B.Set(n+2+j, 0, D.At(j, 0))
+	}
+	return A, B, C, D
+}
+
+// Clone returns an independent controller with the same gains and a fresh
+// (zero) state. Synthesis is done once per machine; each protected run gets
+// its own clone.
+func (k *Controller) Clone() *Controller {
+	c := &Controller{
+		a: k.a, b: k.b, c: k.c, // constant matrices are shared, never mutated
+		kx: k.kx, ku: k.ku,
+		kz: k.kz, lx: k.lx, ld: k.ld,
+		uMean: k.uMean, yMean: k.yMean,
+		n: k.n, nu: k.nu, flopEst: k.flopEst,
+		xhat:  make([]float64, k.n),
+		uPrev: make([]float64, k.nu),
+		xNext: make([]float64, k.n),
+		bu:    make([]float64, k.n),
+		v:     make([]float64, k.nu),
+		uOut:  make([]float64, k.nu),
+		kxX:   make([]float64, k.nu),
+	}
+	return c
+}
+
+// State returns a copy of the structured controller state (for telemetry).
+func (k *Controller) State() []float64 {
+	out := make([]float64, 0, k.Dim())
+	out = append(out, k.xhat...)
+	out = append(out, k.dhat, k.z)
+	out = append(out, k.uPrev...)
+	return out
+}
+
+func (k *Controller) String() string {
+	return fmt.Sprintf("control.Controller{dim=%d, inputs=%d, ops/step≈%d, storage=%dB}",
+		k.Dim(), k.nu, k.Ops(), k.StorageBytes())
+}

@@ -1,0 +1,116 @@
+package control
+
+import (
+	"math"
+	"math/cmplx"
+
+	"github.com/maya-defense/maya/internal/mat"
+)
+
+// FrequencyResponse evaluates the plant's transfer matrix
+// G(e^{jωT}) = C (zI − A)⁻¹ B at the given frequencies (Hz) for a loop
+// sampled every periodSec. The result is one complex gain per input per
+// frequency: response[i][j] is input j's gain at freqs[i].
+func (s *StateSpace) FrequencyResponse(freqs []float64, periodSec float64) [][]complex128 {
+	n := s.Order()
+	nu := s.NumInputs()
+	out := make([][]complex128, len(freqs))
+	for fi, f := range freqs {
+		z := cmplx.Exp(complex(0, 2*math.Pi*f*periodSec))
+		// (zI − A) as a real-imag block system solved per input column.
+		out[fi] = make([]complex128, nu)
+		for j := 0; j < nu; j++ {
+			x := solveComplex(s.A, z, s.B.Col(j))
+			var y complex128
+			for k := 0; k < n; k++ {
+				y += complex(s.C.At(0, k), 0) * x[k]
+			}
+			out[fi][j] = y
+		}
+	}
+	return out
+}
+
+// solveComplex solves (zI − A) x = b for complex z and real A, b by
+// splitting into the equivalent 2n×2n real system.
+func solveComplex(a *mat.Matrix, z complex128, b []float64) []complex128 {
+	n := a.Rows()
+	zr, zi := real(z), imag(z)
+	big := mat.New(2*n, 2*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := -a.At(i, j)
+			if i == j {
+				// (zI − A): diagonal gains z.
+				big.Set(i, j, zr+v)
+				big.Set(i+n, j+n, zr+v)
+				big.Set(i, j+n, -zi)
+				big.Set(i+n, j, zi)
+			} else {
+				big.Set(i, j, v)
+				big.Set(i+n, j+n, v)
+			}
+		}
+	}
+	rhs := make([]float64, 2*n)
+	copy(rhs, b)
+	x, err := mat.SolveVec(big, rhs)
+	if err != nil {
+		// Singular at this exact frequency (pole on the unit circle at ω):
+		// return an effectively infinite response.
+		out := make([]complex128, n)
+		for i := range out {
+			out[i] = complex(math.Inf(1), 0)
+		}
+		return out
+	}
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		out[i] = complex(x[i], x[i+n])
+	}
+	return out
+}
+
+// Sensitivity evaluates |S(e^{jωT})| = |1/(1 + L)| of the closed loop at
+// the given frequencies, where L is the scalar loop transfer C·K with the
+// controller's linear matrices closing the loop through the plant's
+// combined input direction. Sensitivity below 1 means disturbances at that
+// frequency are attenuated; near 1 they pass; above 1 they are amplified
+// (the waterbed). This is the quantitative form of "the loop rejects the
+// application's activity below its bandwidth".
+func Sensitivity(plant *StateSpace, k *Controller, freqs []float64, periodSec float64) []float64 {
+	acl := closedLoopMatrix(plant, k)
+	n := plant.Order()
+	dim := acl.Rows()
+	out := make([]float64, len(freqs))
+	// Disturbance enters as an output disturbance d: e = −(y + d) with
+	// r = 0; the transfer from d to y + d is S. Build it from the
+	// closed-loop state equations driven by d:
+	//   plant: x⁺ = A x + B u,  y = C x
+	//   ctl:   ξ⁺ = Ak ξ + Bk e, u = Ck ξ + Dk e, e = −(y + d)
+	// Inject d through the same channels as y.
+	ak, bk, ck, dk := k.Matrices()
+	_ = ak
+	bd := mat.New(dim, 1)
+	// x⁺ gets B·Dk·(−d); ξ⁺ gets Bk·(−d).
+	bDk := plant.B.Mul(dk)
+	for i := 0; i < n; i++ {
+		bd.Set(i, 0, -bDk.At(i, 0))
+	}
+	for i := 0; i < bk.Rows(); i++ {
+		bd.Set(n+i, 0, -bk.At(i, 0))
+	}
+	// Output map: y = C x (plant rows only).
+	for fi, f := range freqs {
+		z := cmplx.Exp(complex(0, 2*math.Pi*f*periodSec))
+		x := solveComplex(acl, z, bd.Col(0))
+		var y complex128
+		for j := 0; j < n; j++ {
+			y += complex(plant.C.At(0, j), 0) * x[j]
+		}
+		// S = (y + d)/d with d = 1.
+		out[fi] = cmplx.Abs(y + 1)
+	}
+	_ = ck
+	return out
+}

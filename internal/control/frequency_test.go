@@ -1,0 +1,84 @@
+package control
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/sysid"
+)
+
+func TestFrequencyResponseDCMatchesGain(t *testing.T) {
+	m := testModel()
+	ss := FromARX(m)
+	resp := ss.FrequencyResponse([]float64{0}, 0.02)
+	dc := m.DCGain()
+	for j := range dc {
+		if math.Abs(cmplx.Abs(resp[0][j])-math.Abs(dc[j])) > 1e-6*math.Abs(dc[j]) {
+			t.Fatalf("input %d: |G(0)|=%g want %g", j, cmplx.Abs(resp[0][j]), math.Abs(dc[j]))
+		}
+	}
+}
+
+func TestFrequencyResponseRollsOff(t *testing.T) {
+	// A stable low-pass-ish plant's gain at Nyquist is below its DC gain.
+	m := testModel()
+	ss := FromARX(m)
+	resp := ss.FrequencyResponse([]float64{0, 25}, 0.02)
+	for j := 0; j < 3; j++ {
+		if cmplx.Abs(resp[1][j]) >= cmplx.Abs(resp[0][j]) {
+			t.Fatalf("input %d gain did not roll off: %g vs %g",
+				j, cmplx.Abs(resp[1][j]), cmplx.Abs(resp[0][j]))
+		}
+	}
+}
+
+func TestFrequencyResponseKnownFirstOrder(t *testing.T) {
+	// y(T) = a y(T-1) + b u(T-1): G(z) = b/(z − a). Check a mid frequency.
+	m := &sysid.Model{Order: 1, NumInputs: 1, A: []float64{0.5}, B: [][]float64{{1.0}}, UMean: []float64{0}}
+	ss := FromARX(m)
+	period := 0.02
+	f := 5.0
+	resp := ss.FrequencyResponse([]float64{f}, period)
+	z := cmplx.Exp(complex(0, 2*math.Pi*f*period))
+	want := 1.0 / (z - complex(0.5, 0))
+	if cmplx.Abs(resp[0][0]-want) > 1e-9 {
+		t.Fatalf("G=%v want %v", resp[0][0], want)
+	}
+}
+
+func TestSensitivityShape(t *testing.T) {
+	// The servo loop must attenuate low-frequency disturbances strongly
+	// (integral action → S(0) ≈ 0) and pass high frequencies (S → ~1),
+	// with at most a modest waterbed peak in between.
+	m := testModel()
+	plant := FromARX(m)
+	k, _, err := Synthesize(plant, DefaultSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := []float64{0.01, 0.1, 1, 5, 10, 20}
+	s := Sensitivity(plant, k, freqs, 0.02)
+	if s[0] > 0.1 {
+		t.Fatalf("integral action should crush DC disturbances: |S(0.01Hz)|=%g", s[0])
+	}
+	// Near Nyquist the waterbed pushes |S| above 1: the loop *amplifies*
+	// disturbances there — one more reason the high-frequency band carries
+	// the residual leakage documented in EXPERIMENTS.md.
+	if s[len(s)-1] < 0.5 || s[len(s)-1] > 2.6 {
+		t.Fatalf("high-frequency sensitivity out of expected band: %g", s[len(s)-1])
+	}
+	peak := 0.0
+	for _, v := range s {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak > 3.0 {
+		t.Fatalf("waterbed peak too large: %g (poor robustness)", peak)
+	}
+	// Monotone-ish rise from DC: the 1 Hz sensitivity exceeds the 0.1 Hz one.
+	if s[2] <= s[1] {
+		t.Fatalf("sensitivity not rising with frequency: %v", s)
+	}
+}

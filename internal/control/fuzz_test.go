@@ -1,0 +1,38 @@
+package control
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad ensures arbitrary artifact bytes never panic the loader, and
+// that any accepted controller is actually runnable with bounded outputs.
+func FuzzLoad(f *testing.F) {
+	// Seed with a genuine artifact.
+	if k, _, err := Synthesize(FromARX(testModel()), DefaultSpec(3)); err == nil {
+		var buf bytes.Buffer
+		if err := k.Save(&buf); err == nil {
+			f.Add(buf.String())
+		}
+	}
+	f.Add(`{"version":1,"order":1,"inputs":1,"a":[[0.5]],"b":[[1]],"c":[[1]],"kx":[[0.1]],"ku":[[0.1]],"kz":[0.1],"lx":[0.1],"ld":0.1,"u_rest":[0.5],"y_mean":10}`)
+	f.Add(`{"version":1}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, input string) {
+		k, err := Load(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever loads must run without panics or NaNs escaping.
+		for i := 0; i < 50; i++ {
+			u := k.Step(float64(i%11) - 5)
+			for _, v := range u {
+				if math.IsNaN(v) || v < 0 || v > 1 {
+					t.Fatalf("loaded controller emitted invalid input %g", v)
+				}
+			}
+		}
+	})
+}

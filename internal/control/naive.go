@@ -1,0 +1,52 @@
+package control
+
+// Naive is the simplistic reactive scheme of §IV-B (Fig 3): at every period
+// it measures the gap between the target P and the observed power pᵢ and
+// positions the inputs directly in proportion to P − pᵢ, with no model and
+// no accumulated history. Because the application's own power moves between
+// the observation and the actuation — and because nothing integrates the
+// residual error — this scheme "will always miss the target" (§IV-B). It is
+// kept as the ablation baseline demonstrating why formal control is needed.
+type Naive struct {
+	// GainPerWatt converts watts of error into normalized input offset.
+	GainPerWatt float64
+	rest        []float64
+	signs       []float64
+	out         []float64
+}
+
+// NewNaive builds a positional proportional controller for nu inputs.
+// gainPerWatt is the fraction of full actuator range offset per watt of
+// error; signs holds +1/−1 per input for whether it raises or lowers power
+// (e.g., [+1, −1, +1] for DVFS, idle, balloon); rest is the input setting
+// at zero error.
+func NewNaive(nu int, gainPerWatt float64, signs []float64, rest []float64) *Naive {
+	if len(signs) != nu || len(rest) != nu {
+		panic("control: NewNaive dimension mismatch")
+	}
+	return &Naive{
+		GainPerWatt: gainPerWatt,
+		rest:        append([]float64(nil), rest...),
+		signs:       append([]float64(nil), signs...),
+		out:         make([]float64, nu),
+	}
+}
+
+// Step consumes Δy = target − measured and returns normalized inputs.
+func (n *Naive) Step(deltaY float64) []float64 {
+	for j := range n.out {
+		v := n.rest[j] + n.signs[j]*n.GainPerWatt*deltaY
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		n.out[j] = v
+	}
+	return n.out
+}
+
+// Reset is a no-op (the naive scheme is memoryless) but satisfies the same
+// lifecycle as Controller.
+func (n *Naive) Reset() {}

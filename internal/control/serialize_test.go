@@ -1,0 +1,78 @@
+package control
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestControllerSaveLoadRoundTrip(t *testing.T) {
+	m := testModel()
+	orig, _, err := Synthesize(FromARX(m), DefaultSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dim() != orig.Dim() || loaded.NumInputs() != orig.NumInputs() {
+		t.Fatalf("shape changed: %v vs %v", loaded, orig)
+	}
+	// Behavioural equivalence: fresh copies of both must produce identical
+	// input sequences for the same error sequence.
+	fresh := orig.Clone()
+	for i := 0; i < 200; i++ {
+		e := 0.5 * float64(i%7-3)
+		a := fresh.Step(e)
+		b := loaded.Step(e)
+		for j := range a {
+			if math.Abs(a[j]-b[j]) > 1e-12 {
+				t.Fatalf("step %d input %d: %g vs %g", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestLoadRejectsCorruptArtifacts(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"version":2,"order":2,"inputs":3}`,
+		`{"version":1,"order":0,"inputs":3}`,
+		`{"version":1,"order":2,"inputs":3,"a":[[1,0]],"b":[],"c":[],"kx":[],"ku":[]}`,
+		`{"version":1,"order":1,"inputs":1,"a":[[0.5]],"b":[[1]],"c":[[1]],
+		  "kx":[[1]],"ku":[[1]],"kz":[1,2],"lx":[1],"ld":0.1,"u_rest":[0.5],"y_mean":10}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: corrupt artifact accepted", i)
+		}
+	}
+}
+
+func TestSaveIsStable(t *testing.T) {
+	m := testModel()
+	k, _, err := Synthesize(FromARX(m), DefaultSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := k.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("serialization not deterministic")
+	}
+	if !strings.Contains(a.String(), "\"version\": 1") {
+		t.Fatal("missing version field")
+	}
+}

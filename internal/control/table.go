@@ -1,0 +1,169 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// TableController is the OutOfScope-environment controller of Table I: a
+// pre-computed lookup table from which the action is read in O(1) — "a
+// table of pre-computed values from which it quickly reads the action to be
+// taken. This controller must be implemented in hardware and have a
+// response time of no more than ≈10 ns."
+//
+// The table is derived from a synthesized matrix controller by quantizing
+// its (error, integrator) input space and tabulating the steady-state-ish
+// input vector the matrix controller would converge to at each grid point.
+// It trades the matrix controller's state richness for a read that involves
+// no multiplies at all — two index computations and a memory fetch — which
+// is what makes the ~10 ns hardware budget plausible.
+//
+// The runtime keeps one piece of state, the accumulated error (integrator),
+// exactly as a hardware implementation would keep a single register.
+type TableController struct {
+	// errLo/errHi bound the quantized tracking-error axis; zLo/zHi bound
+	// the integrator axis.
+	errLo, errHi float64
+	zLo, zHi     float64
+	nErr, nZ     int
+	nu           int
+	// table[(ie*nZ+iz)*nu + j] is input j's normalized setting.
+	table []float64
+
+	// Runtime state.
+	z float64
+	// zGain integrates the error per step.
+	zGain float64
+	out   []float64
+}
+
+// TableSpec sizes the pre-computed table.
+type TableSpec struct {
+	// ErrRange bounds the tracking error axis (± watts).
+	ErrRange float64
+	// ErrBins and IntBins set the grid resolution.
+	ErrBins, IntBins int
+	// IntRange bounds the integrator axis (± watt-steps).
+	IntRange float64
+}
+
+// DefaultTableSpec returns a table comparable to a small on-die SRAM:
+// 64 × 32 grid × 3 inputs × 1 byte ≈ 6 KB if stored as bytes (we store
+// float64 for simplicity; a hardware artifact would quantize further).
+func DefaultTableSpec() TableSpec {
+	return TableSpec{ErrRange: 15, ErrBins: 64, IntBins: 32, IntRange: 60}
+}
+
+// BuildTable tabulates a matrix controller. For each (error, integrator)
+// grid point it plays the matrix controller to a local fixed point under a
+// constant error, recording the input vector it settles at. The resulting
+// table reproduces the matrix controller's steady-state law; the dynamic
+// (transient-shaping) part is approximated by the integrator axis.
+func BuildTable(proto *Controller, spec TableSpec) (*TableController, error) {
+	if spec.ErrBins < 2 || spec.IntBins < 2 {
+		return nil, errors.New("control: table needs at least 2 bins per axis")
+	}
+	if spec.ErrRange <= 0 || spec.IntRange <= 0 {
+		return nil, errors.New("control: table ranges must be positive")
+	}
+	nu := proto.NumInputs()
+	tc := &TableController{
+		errLo: -spec.ErrRange, errHi: spec.ErrRange,
+		zLo: -spec.IntRange, zHi: spec.IntRange,
+		nErr: spec.ErrBins, nZ: spec.IntBins,
+		nu:    nu,
+		table: make([]float64, spec.ErrBins*spec.IntBins*nu),
+		zGain: 1,
+		out:   make([]float64, nu),
+	}
+	for ie := 0; ie < spec.ErrBins; ie++ {
+		e := tc.binCenter(ie, tc.errLo, tc.errHi, tc.nErr)
+		for iz := 0; iz < spec.IntBins; iz++ {
+			z := tc.binCenter(iz, tc.zLo, tc.zHi, tc.nZ)
+			u := tabulatePoint(proto, e, z)
+			copy(tc.table[(ie*tc.nZ+iz)*nu:], u)
+		}
+	}
+	return tc, nil
+}
+
+// tabulatePoint runs a fresh clone of the matrix controller with its
+// integrator preloaded to z and a constant error e until the output
+// movement stalls, returning the settled input vector.
+func tabulatePoint(proto *Controller, e, z float64) []float64 {
+	k := proto.Clone()
+	k.z = z
+	var prev []float64
+	for step := 0; step < 60; step++ {
+		u := k.Step(e)
+		// Hold the integrator at the grid value: the table's second axis
+		// represents it explicitly, so the tabulated law must not let it
+		// wander during settling.
+		k.z = z
+		if prev == nil {
+			prev = append([]float64(nil), u...)
+			continue
+		}
+		worst := 0.0
+		for j := range u {
+			if d := math.Abs(u[j] - prev[j]); d > worst {
+				worst = d
+			}
+		}
+		copy(prev, u)
+		if worst < 1e-4 {
+			break
+		}
+	}
+	return prev
+}
+
+func (t *TableController) binCenter(i int, lo, hi float64, n int) float64 {
+	return lo + (float64(i)+0.5)*(hi-lo)/float64(n)
+}
+
+func (t *TableController) binIndex(v, lo, hi float64, n int) int {
+	if v <= lo {
+		return 0
+	}
+	if v >= hi {
+		return n - 1
+	}
+	i := int(float64(n) * (v - lo) / (hi - lo))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Step reads the pre-computed action for the current (error, integrator)
+// cell and advances the integrator: two quantizations and one table fetch.
+func (t *TableController) Step(deltaY float64) []float64 {
+	t.z += t.zGain * deltaY
+	if t.z < t.zLo {
+		t.z = t.zLo
+	}
+	if t.z > t.zHi {
+		t.z = t.zHi
+	}
+	ie := t.binIndex(deltaY, t.errLo, t.errHi, t.nErr)
+	iz := t.binIndex(t.z, t.zLo, t.zHi, t.nZ)
+	copy(t.out, t.table[(ie*t.nZ+iz)*t.nu:(ie*t.nZ+iz+1)*t.nu])
+	return t.out
+}
+
+// Reset clears the integrator.
+func (t *TableController) Reset() { t.z = 0 }
+
+// Entries returns the number of table cells.
+func (t *TableController) Entries() int { return t.nErr * t.nZ }
+
+// StorageBytes returns the table size as stored (float64 entries; a
+// hardware realization would pack each input into a byte).
+func (t *TableController) StorageBytes() int { return 8 * len(t.table) }
+
+func (t *TableController) String() string {
+	return fmt.Sprintf("control.TableController{%dx%d cells, %d inputs, %d B}",
+		t.nErr, t.nZ, t.nu, t.StorageBytes())
+}

@@ -1,0 +1,165 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/sysid"
+)
+
+func tableProto(t *testing.T) *Controller {
+	t.Helper()
+	k, _, err := Synthesize(FromARX(testModel()), DefaultSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestBuildTableShape(t *testing.T) {
+	tc, err := BuildTable(tableProto(t), DefaultTableSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Entries() != 64*32 {
+		t.Fatalf("entries=%d", tc.Entries())
+	}
+	// Every tabulated input must be a valid normalized setting.
+	for _, v := range tc.table {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("table holds invalid input %g", v)
+		}
+	}
+}
+
+func TestBuildTableRejectsBadSpecs(t *testing.T) {
+	proto := tableProto(t)
+	for _, spec := range []TableSpec{
+		{ErrRange: 10, ErrBins: 1, IntBins: 8, IntRange: 10},
+		{ErrRange: 10, ErrBins: 8, IntBins: 0, IntRange: 10},
+		{ErrRange: 0, ErrBins: 8, IntBins: 8, IntRange: 10},
+		{ErrRange: 10, ErrBins: 8, IntBins: 8, IntRange: -1},
+	} {
+		if _, err := BuildTable(proto, spec); err == nil {
+			t.Fatalf("bad spec accepted: %+v", spec)
+		}
+	}
+}
+
+func TestTableMonotoneInError(t *testing.T) {
+	// More positive error (need more power) must not command less of the
+	// power-raising inputs at a fixed integrator state.
+	tc, err := BuildTable(tableProto(t), DefaultTableSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.Reset()
+	tc.zGain = 0 // isolate the error axis
+	low := append([]float64(nil), tc.Step(-10)...)
+	high := tc.Step(+10)
+	// Input 0 is DVFS (positive gain), input 1 idle (negative gain).
+	if high[0] < low[0]-1e-6 {
+		t.Fatalf("dvfs not monotone: %v vs %v", high, low)
+	}
+	if high[1] > low[1]+1e-6 {
+		t.Fatalf("idle not anti-monotone: %v vs %v", high, low)
+	}
+}
+
+func TestTableTracksLikeMatrixController(t *testing.T) {
+	// Closed loop on the true plant: the table controller must reach the
+	// target, within a quantization-limited band, like the matrix one.
+	m := testModel()
+	proto := tableProto(t)
+	tc, err := BuildTable(proto, DefaultTableSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := FromARX(m)
+	x := make([]float64, ss.Order())
+	xNext := make([]float64, ss.Order())
+	u := make([]float64, 3)
+	target := 18.0
+	var tail []float64
+	for step := 0; step < 300; step++ {
+		y := ss.C.MulVec(x)[0] + ss.YMean
+		out := tc.Step(target - y)
+		for j := range u {
+			u[j] = out[j] - ss.UMean[j]
+		}
+		ss.A.MulVecTo(xNext, x)
+		bu := ss.B.MulVec(u)
+		for i := range xNext {
+			xNext[i] += bu[i]
+		}
+		copy(x, xNext)
+		if step >= 200 {
+			tail = append(tail, y)
+		}
+	}
+	var mad float64
+	for _, y := range tail {
+		mad += math.Abs(y - target)
+	}
+	mad /= float64(len(tail))
+	if mad > 1.0 {
+		t.Fatalf("table controller steady error %.2f W", mad)
+	}
+}
+
+func TestTableStepIsFast(t *testing.T) {
+	// Table I: the table read must be far cheaper than the matrix step —
+	// that is its entire reason to exist.
+	tc, err := BuildTable(tableProto(t), DefaultTableSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 200000
+	r := rng.New(1)
+	errs := make([]float64, 256)
+	for i := range errs {
+		errs[i] = r.Uniform(-10, 10)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		tc.Step(errs[i&255])
+	}
+	perStep := time.Since(start).Nanoseconds() / iters
+	if perStep > 200 {
+		t.Fatalf("table step %d ns; expected tens of ns", perStep)
+	}
+}
+
+func TestTableRespondsToModelVariants(t *testing.T) {
+	// Building from a different plant produces a different law.
+	m2 := &sysid.Model{
+		Order: 2, NumInputs: 3,
+		A:     []float64{0.3, 0.05},
+		B:     [][]float64{{5, 1}, {-1, -.2}, {4, 1}},
+		YMean: 15, UMean: []float64{0.5, 0.3, 0.4},
+	}
+	k2, _, err := Synthesize(FromARX(m2), DefaultSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := BuildTable(tableProto(t), DefaultTableSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := BuildTable(k2, DefaultTableSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range t1.table {
+		if math.Abs(t1.table[i]-t2.table[i]) > 1e-9 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different plants produced identical tables")
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+
+	"github.com/maya-defense/maya/internal/mask"
+	"github.com/maya-defense/maya/internal/rng"
+)
+
+// hfDither generates the high-frequency portion of the mask. A feedback
+// loop with a 20 ms period has a usable bandwidth of roughly 1 Hz: mask
+// components above it cannot be *tracked*, and application activity above
+// it (loop periodicities, browser timers, video frame cadence) cannot be
+// *rejected*. Eq. 4 permits mask sinusoids up to the 25 Hz Nyquist limit;
+// Maya therefore actuates those components open-loop — the dither value is
+// added directly to the balloon input after the controller runs, planting
+// genuine, secret-random spectral peaks in the band the attacker would
+// otherwise own.
+//
+// Parameters are re-drawn every Nhold samples from the same secret stream
+// discipline as the rest of the mask.
+type hfDither struct {
+	band     mask.Band
+	hold     mask.HoldRange
+	sampleHz float64
+	maxHz    float64
+
+	r      *rng.Stream
+	left   int
+	ampW   float64
+	freqHz float64
+	phase  float64
+}
+
+// newHFDither builds a dither source for a control loop at sampleHz whose
+// injected peaks must stay below maxObservableHz (the slowest attacker
+// Nyquist rate worth covering).
+func newHFDither(band mask.Band, sampleHz, maxObservableHz float64, seed uint64) *hfDither {
+	d := &hfDither{
+		band:     band,
+		hold:     mask.DefaultHold(),
+		sampleHz: sampleHz,
+		maxHz:    math.Min(maxObservableHz, sampleHz/2),
+	}
+	d.Reset(seed)
+	return d
+}
+
+func (d *hfDither) Reset(seed uint64) {
+	d.r = rng.NewNamed(seed, "mask/hf-dither")
+	d.left = 0
+	d.phase = 0
+}
+
+func (d *hfDither) redraw() {
+	w := d.band.Width()
+	d.ampW = d.r.Uniform(0.05, 0.16) * w
+	d.freqHz = d.r.Uniform(1.2, d.maxHz)
+	d.left = d.hold.Draw(d.r)
+}
+
+// Next returns the next dither value in watts (zero-mean).
+//
+// A broadband component was evaluated and rejected: any injected energy
+// passes through the plant's application-dependent gain, so unless the
+// engine's gain normalization were near-perfect, more injected energy means
+// a *larger* amplitude-modulated fingerprint for a time-frequency attacker
+// (see the spectrogram-attack notes in EXPERIMENTS.md).
+func (d *hfDither) Next() float64 {
+	if d.left <= 0 {
+		d.redraw()
+	}
+	d.left--
+	d.phase += 2 * math.Pi * d.freqHz / d.sampleHz
+	if d.phase > 2*math.Pi {
+		d.phase -= 2 * math.Pi
+	}
+	return d.ampW * math.Sin(d.phase)
+}

@@ -1,0 +1,320 @@
+// Package core is the paper's primary contribution assembled: the Maya
+// defense engine (Fig 2). Every control period (20 ms) the engine reads the
+// power sensor, asks the mask generator for the next target, runs the
+// formal controller on the deviation, and actuates the DVFS, idle, and
+// balloon knobs. It also provides the §V-A design pipeline that produces
+// the controller for a given machine (system identification → ARX fit →
+// LQG synthesis).
+//
+// The engine is deliberately application-transparent: it never inspects the
+// workload, only the machine's power, which is what makes Maya deployable
+// as privileged software on unmodified systems.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/maya-defense/maya/internal/actuator"
+	"github.com/maya-defense/maya/internal/control"
+	"github.com/maya-defense/maya/internal/mask"
+	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/sysid"
+)
+
+// Engine is one deployed Maya instance. It implements sim.Policy, so it
+// plugs directly into the simulation runner the way the real implementation
+// plugs into a privileged thread.
+type Engine struct {
+	ctl   *control.Controller
+	gen   mask.Generator
+	knobs actuator.Set
+
+	// dither, when non-nil, is the mask's high-frequency component,
+	// actuated open-loop on the balloon input (see hfDither); balloonGainW
+	// converts its watt amplitude into balloon-input units.
+	dither       *hfDither
+	balloonGainW float64
+
+	// qdither, when non-nil, randomizes the quantization of each input by
+	// up to ±half an actuator step per period. Without it, the loop settles
+	// into deterministic limit cycles between adjacent quantized levels
+	// whose amplitude depends on the plant's local gain — i.e., on the
+	// application — leaving a high-frequency fingerprint. Dithered
+	// quantization turns that chatter into secret-random noise.
+	qdither *rng.Stream
+
+	// Adaptive dither-gain estimator. The balloon's watt-per-duty gain
+	// varies several-fold with application state; injecting the HF mask
+	// through a fixed gain estimate would make the *injected amplitude*
+	// itself an application fingerprint (a time-frequency attacker reads
+	// it from band energies). The engine knows its own injected signal, so
+	// it estimates the instantaneous gain by NLMS on first-differenced
+	// (above-loop-bandwidth) measurements and normalizes the injection.
+	ghat           float64
+	prevUd, pprevU float64
+	prevY          float64
+	havePrevY      bool
+
+	// Targets records the mask value issued at each step (the paper's
+	// Fig 13a analysis compares this trace against measured power).
+	Targets []float64
+
+	// Overhead telemetry (§VII-E): cumulative wall time spent inside
+	// Decide and the number of steps, measured on the host running the
+	// simulation.
+	DecideTime time.Duration
+	Steps      int
+}
+
+// NewEngine assembles an engine from a synthesized controller (the caller
+// keeps ownership; pass a Clone for concurrent runs), a mask generator, and
+// the machine's actuator set.
+func NewEngine(ctl *control.Controller, gen mask.Generator, knobs actuator.Set) *Engine {
+	return &Engine{ctl: ctl, gen: gen, knobs: knobs}
+}
+
+// Reset prepares the engine for a new run: fresh controller state, a fresh
+// mask stream for the given seed, and cleared telemetry.
+func (e *Engine) Reset(seed uint64) {
+	e.ctl.Reset()
+	e.gen.Reset(seed)
+	if e.dither != nil {
+		e.dither.Reset(seed + 0x9e3779b97f4a7c15)
+		e.qdither = rng.NewNamed(seed, "maya/qdither")
+	}
+	e.ghat = e.balloonGainW
+	e.prevUd, e.pprevU, e.prevY = 0, 0, 0
+	e.havePrevY = false
+	e.Targets = e.Targets[:0]
+	e.DecideTime = 0
+	e.Steps = 0
+}
+
+// Decide implements sim.Policy: one Maya wake-up.
+func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
+	start := time.Now()
+	target := e.gen.Next()
+	ditherW := 0.0
+	if e.dither != nil && e.balloonGainW > 0 {
+		ditherW = e.dither.Next()
+	}
+	// The recorded target is the full mask shape: the closed-loop
+	// component plus the open-loop high-frequency component.
+	e.Targets = append(e.Targets, target+ditherW)
+
+	var u []float64
+	if step == 0 {
+		// No sensor reading exists yet; hold the operating point rather
+		// than reacting to a bogus zero measurement.
+		u = e.ctl.Step(0)
+	} else {
+		// The feedback loop tracks only the low-frequency component; the
+		// dither would be invisible to it anyway (above loop bandwidth).
+		u = e.ctl.Step(target - powerW)
+	}
+	u2 := u[2]
+	if e.dither != nil && e.balloonGainW > 0 {
+		// Update the gain estimate: the dither applied for the period that
+		// powerW measured was prevUd; its first difference against the
+		// one before isolates the above-bandwidth response.
+		if e.havePrevY && step > 1 {
+			uhp := e.prevUd - e.pprevU
+			yhp := powerW - e.prevY
+			const mu, eps = 0.2, 1e-3
+			if uhp != 0 {
+				e.ghat += mu * uhp * (yhp - e.ghat*uhp) / (eps + uhp*uhp)
+			}
+			lo, hi := 0.25*e.balloonGainW, 4*e.balloonGainW
+			if e.ghat < lo {
+				e.ghat = lo
+			}
+			if e.ghat > hi {
+				e.ghat = hi
+			}
+		}
+		e.prevY = powerW
+		e.havePrevY = true
+	}
+	if ditherW != 0 {
+		// High-frequency mask component, actuated open-loop on the balloon,
+		// normalized by the adaptive gain estimate.
+		ud := ditherW / e.ghat
+		u2 += ud
+		if u2 < 0 {
+			u2 = 0
+		}
+		if u2 > 1 {
+			u2 = 1
+		}
+		e.pprevU = e.prevUd
+		e.prevUd = ud
+	} else {
+		e.pprevU = e.prevUd
+		e.prevUd = 0
+	}
+	uq := [3]float64{u[0], u[1], u2}
+	if e.qdither != nil {
+		// ±half-step randomization before the knobs snap to their ladders.
+		steps := [3]float64{
+			e.knobs.DVFS.Step / (e.knobs.DVFS.Max - e.knobs.DVFS.Min),
+			e.knobs.Idle.Step / (e.knobs.Idle.Max - e.knobs.Idle.Min),
+			e.knobs.Balloon.Step / (e.knobs.Balloon.Max - e.knobs.Balloon.Min),
+		}
+		for j := range uq {
+			uq[j] += e.qdither.Uniform(-0.5, 0.5) * steps[j]
+		}
+	}
+	d, idle, b := e.knobs.FromNorms(uq)
+
+	e.DecideTime += time.Since(start)
+	e.Steps++
+	return sim.Inputs{FreqGHz: d, Idle: idle, Balloon: b}
+}
+
+// MaskTargets returns the targets issued so far (one per Decide call).
+// Callers running through sim.Run align entry FirstStep+t with recorded
+// sample t.
+func (e *Engine) MaskTargets() []float64 { return e.Targets }
+
+// Controller exposes the engine's controller (telemetry, dimension checks).
+func (e *Engine) Controller() *control.Controller { return e.ctl }
+
+// Mask exposes the engine's mask generator.
+func (e *Engine) Mask() mask.Generator { return e.gen }
+
+// Design holds everything produced by the §V-A pipeline for one machine.
+type Design struct {
+	Model      *sysid.Model
+	Plant      *control.StateSpace
+	Controller *control.Controller // prototype; Clone per run
+	Report     *control.Report
+	Band       mask.Band
+}
+
+// DesignOptions tune the identification and synthesis pipeline.
+type DesignOptions struct {
+	// Seed feeds the excitation streams.
+	Seed uint64
+	// Order is the ARX model order (paper: 4).
+	Order int
+	// PeriodTicks is the control period in simulator ticks (paper: 20 ms).
+	PeriodTicks int
+	// ExcitationTicks bounds each training run.
+	ExcitationTicks int
+	// Spec overrides the synthesis spec; nil uses the paper's defaults
+	// (input weights 1, guardband 40%).
+	Spec *control.Spec
+}
+
+// DefaultDesignOptions returns the paper's configuration.
+func DefaultDesignOptions() DesignOptions {
+	return DesignOptions{Seed: 1, Order: 4, PeriodTicks: 20, ExcitationTicks: 20000}
+}
+
+// DesignFor runs the full pipeline for a machine: collect excitation data
+// on the training applications, fit the ARX model, realize it, synthesize
+// the controller, and derive the mask band from the machine's idle floor
+// and TDP.
+func DesignFor(cfg sim.Config, opts DesignOptions) (*Design, error) {
+	if opts.Order <= 0 {
+		opts.Order = 4
+	}
+	if opts.PeriodTicks <= 0 {
+		opts.PeriodTicks = 20
+	}
+	if opts.ExcitationTicks <= 0 {
+		opts.ExcitationTicks = 20000
+	}
+	log := sysid.CollectExcitation(cfg, sysid.TrainingSet(), opts.Seed, opts.PeriodTicks, opts.ExcitationTicks)
+	model, err := sysid.Fit(log.Y, log.U, opts.Order, 1e-6)
+	if err != nil {
+		return nil, fmt.Errorf("core: identification failed: %w", err)
+	}
+	plant := control.FromARX(model)
+	if err := plant.Verify(model, 1e-6); err != nil {
+		return nil, err
+	}
+	spec := control.DefaultSpec(3)
+	if opts.Spec != nil {
+		spec = *opts.Spec
+	}
+	ctl, rep, err := control.Synthesize(plant, spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: synthesis failed: %w", err)
+	}
+	// The band's ceiling must be reachable: the TDP caps it (§V-B), and so
+	// does the machine's actual burn capability (balloon flat out at max
+	// DVFS). A target above what the actuators can deliver would saturate
+	// the loop and leak whichever workload happens to be running.
+	ceiling := 0.8 * cfg.TDP
+	if m := 0.92 * maxBurnW(cfg); m < ceiling {
+		ceiling = m
+	}
+	floor := idleFloorW(cfg)
+	band := mask.Band{Min: floor + 0.1*(ceiling-floor), Max: ceiling}
+	return &Design{Model: model, Plant: plant, Controller: ctl, Report: rep, Band: band}, nil
+}
+
+// maxBurnW estimates the highest sustainable power: balloon at full duty on
+// every core at maximum frequency (activity ≈ 1.1), no idle injection.
+func maxBurnW(cfg sim.Config) float64 {
+	v := cfg.Voltage(cfg.FmaxGHz)
+	return cfg.StaticCoeff*v/cfg.VMax + cfg.CdynPerCore*v*v*cfg.FmaxGHz*1.1*float64(cfg.Cores)
+}
+
+// idleFloorW estimates the machine's lowest reachable power (minimum
+// frequency, maximum idle injection, no balloon) from the config's power
+// model — the bottom anchor of the mask band.
+func idleFloorW(cfg sim.Config) float64 {
+	v := cfg.Voltage(cfg.FminGHz)
+	static := cfg.StaticCoeff * v / cfg.VMax
+	base := cfg.CdynPerCore * v * v * cfg.FminGHz * 0.03 * (1 - 0.48) * float64(cfg.Cores)
+	return static + base
+}
+
+// NewGSEngine builds the proposed Maya GS configuration for a design: the
+// Gaussian Sinusoid mask over the machine band at the loop's sampling rate,
+// with its above-bandwidth components actuated open-loop on the balloon.
+func NewGSEngine(d *Design, cfg sim.Config, periodTicks int, seed uint64) *Engine {
+	sampleHz := 1 / (float64(periodTicks) * cfg.TickSeconds)
+	gen := mask.NewGaussianSinusoid(d.Band, mask.DefaultHold(), sampleHz, seed)
+	e := NewEngine(d.Controller.Clone(), gen, cfg.Knobs())
+	e.dither = newHFDither(d.Band, sampleHz, 10, seed)
+	// The balloon's true gain depends on machine load: the identified model
+	// gives the average over busy training runs, while on an idle machine
+	// the balloon burns several times more per duty step. Converting the
+	// dither with either extreme would make the injected amplitude itself
+	// load-dependent by that full ratio; the geometric mean bounds the
+	// modulation symmetrically.
+	fitted := 0.0
+	if g := d.Model.DCGain(); len(g) == 3 && g[2] > 0.5 {
+		fitted = g[2]
+	}
+	analytic := maxBurnW(cfg) - idleFloorW(cfg) // idle-machine balloon swing
+	switch {
+	case fitted > 0 && analytic > 0:
+		e.balloonGainW = math.Sqrt(fitted * analytic)
+	case fitted > 0:
+		e.balloonGainW = fitted
+	}
+	return e
+}
+
+// NewConstantEngine builds the Maya Constant ablation: same controller,
+// fixed target pinned at 40% of the band. As in the paper (§VII-E), the
+// single level is "often lower than the power at which Baseline runs", so
+// high-activity phases are throttled throughout and Maya Constant pays a
+// larger execution-time overhead than Maya GS, whose moving target lets
+// applications run at high power part of the time.
+func NewConstantEngine(d *Design, cfg sim.Config) *Engine {
+	level := d.Band.Min + 0.4*d.Band.Width()
+	return NewEngine(d.Controller.Clone(), mask.NewConstant(level), cfg.Knobs())
+}
+
+// DitherGain returns the engine's current adaptive estimate of the
+// balloon's watt-per-duty gain (telemetry; see the estimator notes on
+// Engine).
+func (e *Engine) DitherGain() float64 { return e.ghat }

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/mask"
+	"github.com/maya-defense/maya/internal/signal"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+// designOnce caches the Sys1 design: identification is the expensive step
+// and every integration test needs the same artifact.
+var (
+	designMu   sync.Mutex
+	sys1Design *Design
+)
+
+func testDesign(t *testing.T) *Design {
+	t.Helper()
+	designMu.Lock()
+	defer designMu.Unlock()
+	if sys1Design == nil {
+		d, err := DesignFor(sim.Sys1(), DefaultDesignOptions())
+		if err != nil {
+			t.Fatalf("design failed: %v", err)
+		}
+		sys1Design = d
+	}
+	return sys1Design
+}
+
+func TestDesignPipeline(t *testing.T) {
+	d := testDesign(t)
+	if d.Model.Order != 4 {
+		t.Fatalf("model order %d want 4 (§V-A)", d.Model.Order)
+	}
+	if !d.Model.Stable() {
+		t.Fatal("identified model unstable")
+	}
+	if d.Controller.Dim() != 9 {
+		t.Fatalf("controller dim %d want 9", d.Controller.Dim())
+	}
+	if d.Report.ClosedLoopRadius >= 1 {
+		t.Fatalf("closed loop unstable: %g", d.Report.ClosedLoopRadius)
+	}
+	if d.Band.Max > sim.Sys1().TDP {
+		t.Fatalf("band max %g above TDP", d.Band.Max)
+	}
+	if d.Band.Min <= 0 || d.Band.Width() < 5 {
+		t.Fatalf("band too narrow for masking: %+v", d.Band)
+	}
+}
+
+func TestEngineTracksGSMask(t *testing.T) {
+	// The heart of Maya (§VII-D / Fig 13): measured power must stay close
+	// to the mask targets even while the application's own activity varies.
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	eng := NewGSEngine(d, cfg, 20, 99)
+	eng.Reset(99)
+
+	m := sim.NewMachine(cfg, 7)
+	w := workload.NewApp("bodytrack") // multi-phase: hard tracking case
+	w.Reset(3)
+	res := sim.Run(m, w, eng, sim.RunSpec{ControlPeriodTicks: 20, MaxTicks: 40000})
+
+	n := len(res.DefenseSamples)
+	if n < 1000 {
+		t.Fatalf("too few samples: %d", n)
+	}
+	// Align: Targets[t] was issued for period t; DefenseSamples[t] is the
+	// power measured over period t.
+	targets := eng.Targets[:n]
+	mad := signal.MeanAbsDeviation(res.DefenseSamples[50:], targets[50:])
+	// The recorded targets include the open-loop HF dither, which is
+	// executed through an average balloon-gain estimate; its imprecision
+	// rides on top of the closed loop's ±10% tracking band.
+	if mad > 0.12*d.Band.Width() {
+		t.Fatalf("tracking MAD %.2f W exceeds 12%% of band width %.2f W", mad, d.Band.Width())
+	}
+	// Distribution check (Fig 13): quartiles of measured power close to
+	// quartiles of the targets.
+	bm := signal.Box(res.DefenseSamples[50:])
+	bt := signal.Box(targets[50:])
+	if math.Abs(bm.Median-bt.Median) > 1.5 {
+		t.Fatalf("median mismatch: measured %g vs target %g", bm.Median, bt.Median)
+	}
+}
+
+func TestEngineHidesPhaseStructure(t *testing.T) {
+	// Under Maya GS the measured power must correlate with the mask, not
+	// with the application's unprotected power profile.
+	d := testDesign(t)
+	cfg := sim.Sys1()
+
+	// Unprotected run for the reference activity profile.
+	mBase := sim.NewMachine(cfg, 11)
+	wBase := workload.NewApp("blackscholes").Scale(0.4)
+	wBase.Reset(5)
+	base := sim.Run(mBase, wBase, sim.NewBaselinePolicy(cfg), sim.RunSpec{ControlPeriodTicks: 20, MaxTicks: 40000})
+
+	// Protected run of the same workload and seed.
+	eng := NewGSEngine(d, cfg, 20, 123)
+	eng.Reset(123)
+	mGS := sim.NewMachine(cfg, 11)
+	wGS := workload.NewApp("blackscholes").Scale(0.4)
+	wGS.Reset(5)
+	prot := sim.Run(mGS, wGS, eng, sim.RunSpec{ControlPeriodTicks: 20, MaxTicks: 40000})
+
+	n := len(base.DefenseSamples)
+	if len(prot.DefenseSamples) < n {
+		n = len(prot.DefenseSamples)
+	}
+	corrApp := math.Abs(signal.Pearson(prot.DefenseSamples[:n], base.DefenseSamples[:n]))
+	corrMask := signal.Pearson(prot.DefenseSamples[:n], eng.Targets[:n])
+	// The HF dither (the open-loop mask component) deliberately adds power
+	// movement the low-frequency target trace does not contain, so the
+	// correlation ceiling is below what the tracking loop alone achieves.
+	if corrMask < 0.7 {
+		t.Fatalf("protected power should follow the mask: corr=%g", corrMask)
+	}
+	// Residual app correlation exists (activity-dependent actuator gains —
+	// the same imperfection that leaves the paper's MLP at 14% rather than
+	// the 9% chance level), but the mask must dominate decisively.
+	if corrApp > 0.5 || corrApp > 0.6*corrMask {
+		t.Fatalf("protected power still correlates with app profile: app=%g mask=%g", corrApp, corrMask)
+	}
+}
+
+func TestEngineStepZeroSafe(t *testing.T) {
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	eng := NewGSEngine(d, cfg, 20, 1)
+	eng.Reset(1)
+	in := eng.Decide(0, 0) // no reading yet
+	if in.FreqGHz < cfg.FminGHz || in.FreqGHz > cfg.FmaxGHz {
+		t.Fatalf("step-0 inputs out of range: %+v", in)
+	}
+}
+
+func TestEngineTelemetry(t *testing.T) {
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	eng := NewGSEngine(d, cfg, 20, 2)
+	eng.Reset(2)
+	for i := 0; i < 100; i++ {
+		eng.Decide(i, 15)
+	}
+	if eng.Steps != 100 || len(eng.Targets) != 100 {
+		t.Fatalf("telemetry broken: steps=%d targets=%d", eng.Steps, len(eng.Targets))
+	}
+	// §VII-E: the mask + controller step completes within ~1 µs each; allow
+	// generous slack for the host but catch pathological implementations.
+	perStep := eng.DecideTime / 100
+	if perStep.Microseconds() > 100 {
+		t.Fatalf("Decide too slow: %v per step", perStep)
+	}
+}
+
+func TestEngineResetIndependentRuns(t *testing.T) {
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	eng := NewGSEngine(d, cfg, 20, 5)
+	eng.Reset(5)
+	run := func() []float64 {
+		eng.Reset(5)
+		m := sim.NewMachine(cfg, 3)
+		w := workload.NewPage("google")
+		w.Reset(1)
+		res := sim.Run(m, w, eng, sim.RunSpec{ControlPeriodTicks: 20, MaxTicks: 2000})
+		out := make([]float64, len(res.DefenseSamples))
+		copy(out, res.DefenseSamples)
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("engine reset does not reproduce runs")
+		}
+	}
+}
+
+func TestConstantEngineHoldsLevel(t *testing.T) {
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	eng := NewConstantEngine(d, cfg)
+	eng.Reset(1)
+	m := sim.NewMachine(cfg, 13)
+	w := workload.NewApp("vips").Scale(0.5)
+	w.Reset(2)
+	res := sim.Run(m, w, eng, sim.RunSpec{ControlPeriodTicks: 20, MaxTicks: 30000})
+	level := eng.Targets[0]
+	// Steady tracking of the constant level, ignoring warmup.
+	mad := 0.0
+	n := 0
+	for i := 50; i < len(res.DefenseSamples); i++ {
+		mad += math.Abs(res.DefenseSamples[i] - level)
+		n++
+	}
+	mad /= float64(n)
+	if mad > 1.5 {
+		t.Fatalf("constant mask MAD %g W", mad)
+	}
+}
+
+func TestGSEngineDiffersAcrossSeeds(t *testing.T) {
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	e1 := NewGSEngine(d, cfg, 20, 100)
+	e2 := NewGSEngine(d, cfg, 20, 200)
+	e1.Reset(100)
+	e2.Reset(200)
+	t1 := make([]float64, 500)
+	t2 := make([]float64, 500)
+	for i := range t1 {
+		e1.Decide(i, 15)
+		e2.Decide(i, 15)
+		t1[i] = e1.Targets[i]
+		t2[i] = e2.Targets[i]
+	}
+	if c := math.Abs(signal.Pearson(t1, t2)); c > 0.3 {
+		t.Fatalf("mask targets correlate across seeds: %g", c)
+	}
+}
+
+func TestMaskObeysBandDuringOperation(t *testing.T) {
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	eng := NewGSEngine(d, cfg, 20, 77)
+	eng.Reset(77)
+	for i := 0; i < 5000; i++ {
+		eng.Decide(i, 15)
+	}
+	// The closed-loop component stays inside the band; the open-loop HF
+	// dither adds at most ±16% of the band width on top, and the total must
+	// respect the TDP (§V-B constraint 1).
+	slack := 0.16 * d.Band.Width()
+	for _, tgt := range eng.Targets {
+		if tgt < d.Band.Min-slack-1e-9 || tgt > d.Band.Max+slack+1e-9 {
+			t.Fatalf("target %g outside dithered band %+v", tgt, d.Band)
+		}
+		if tgt > cfg.TDP {
+			t.Fatalf("target %g above TDP %g", tgt, cfg.TDP)
+		}
+	}
+	_ = mask.DefaultHold()
+}
+
+func TestDitherGainAdapts(t *testing.T) {
+	// The adaptive estimator must learn that the balloon is far more
+	// effective on an idle machine than under a compute-saturated one.
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	run := func(w workload.Workload) float64 {
+		eng := NewGSEngine(d, cfg, 20, 99)
+		eng.Reset(99)
+		m := sim.NewMachine(cfg, 7)
+		sim.Run(m, w, eng, sim.RunSpec{ControlPeriodTicks: 20, MaxTicks: 20000})
+		return eng.DitherGain()
+	}
+	idleGain := run(workload.Idle{})
+	heavy := workload.NewApp("water_nsquared")
+	heavy.Reset(1)
+	heavy.Advance(9)
+	heavyGain := run(heavy)
+	if idleGain < 1.5*heavyGain {
+		t.Fatalf("gain estimate not adapting: idle %.2f vs heavy %.2f", idleGain, heavyGain)
+	}
+}
+
+func TestEngineTracksOnAllMachines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	// §VII-E: "This shows that Maya is robust across different machines."
+	// The same design pipeline must yield a tracking controller on every
+	// platform preset.
+	for _, cfg := range []sim.Config{sim.Sys1(), sim.Sys2(), sim.Sys3()} {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			d, err := DesignFor(cfg, DefaultDesignOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := NewGSEngine(d, cfg, 20, 31)
+			eng.Reset(31)
+			m := sim.NewMachine(cfg, 5)
+			w := workload.NewApp("bodytrack").Scale(0.2)
+			w.Reset(3)
+			res := sim.Run(m, w, eng, sim.RunSpec{
+				ControlPeriodTicks: 20, MaxTicks: 24000, WarmupTicks: 2000,
+			})
+			n := len(res.DefenseSamples)
+			targets := eng.MaskTargets()[res.FirstStep : res.FirstStep+n]
+			mad := signal.MeanAbsDeviation(res.DefenseSamples, targets)
+			if mad > 0.14*d.Band.Width() {
+				t.Errorf("%s: tracking MAD %.2f W vs band %.1f W", cfg.Name, mad, d.Band.Width())
+			}
+			// Targets respect each machine's own TDP.
+			for _, tgt := range targets {
+				if tgt > cfg.TDP {
+					t.Fatalf("%s: target %.1f above TDP %.0f", cfg.Name, tgt, cfg.TDP)
+				}
+			}
+		})
+	}
+}
+
+func TestEngineInputsAlwaysValid(t *testing.T) {
+	// Property: regardless of the power readings thrown at it, the engine
+	// emits inputs on the legal actuator ladders.
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	eng := NewGSEngine(d, cfg, 20, 3)
+	eng.Reset(3)
+	knobs := cfg.Knobs()
+	r := readings(997)
+	for i, pw := range r {
+		in := eng.Decide(i, pw)
+		if in.FreqGHz < cfg.FminGHz-1e-9 || in.FreqGHz > cfg.FmaxGHz+1e-9 {
+			t.Fatalf("step %d: freq %g off ladder", i, in.FreqGHz)
+		}
+		if q := knobs.Idle.Quantize(in.Idle); q != in.Idle {
+			t.Fatalf("step %d: idle %g not quantized", i, in.Idle)
+		}
+		if q := knobs.Balloon.Quantize(in.Balloon); q != in.Balloon {
+			t.Fatalf("step %d: balloon %g not quantized", i, in.Balloon)
+		}
+	}
+}
+
+// readings produces a hostile mixed sequence: zeros, spikes, plausible
+// values, and slow ramps.
+func readings(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		switch i % 7 {
+		case 0:
+			out[i] = 0
+		case 1:
+			out[i] = 500
+		case 2:
+			out[i] = -3 // a broken sensor
+		default:
+			out[i] = 5 + float64(i%40)
+		}
+	}
+	return out
+}
+
+func TestDesignPipelineDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	// The §V-A pipeline (excite → fit → synthesize) must be bit-for-bit
+	// reproducible for a given seed: a deployment can regenerate its
+	// controller artifact and verify it matches what is in the field.
+	run := func() string {
+		d, err := DesignFor(sim.Sys1(), DefaultDesignOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := d.Controller.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if run() != run() {
+		t.Fatal("design pipeline is not deterministic")
+	}
+}
+
+func TestEMChannelObfuscated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	// §I: power obfuscation also covers EM emissions, which track power
+	// *changes*. Two undefended runs of the same app produce near-identical
+	// EM probe traces; a GS-protected run's EM trace does not follow them.
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	emTrace := func(pol sim.Policy, machineSeed uint64) []float64 {
+		m := sim.NewMachine(cfg, machineSeed)
+		w := workload.NewApp("streamcluster").Scale(0.15)
+		w.Reset(9)
+		em := &sim.Sampler{Sensor: sim.NewEMSensor(cfg, machineSeed), PeriodTicks: 20}
+		sim.Run(m, w, pol, sim.RunSpec{
+			ControlPeriodTicks: 20, MaxTicks: 16000, WarmupTicks: 1000,
+			Samplers: []*sim.Sampler{em},
+		})
+		return em.Samples
+	}
+	base1 := emTrace(sim.NewBaselinePolicy(cfg), 4)
+	base2 := emTrace(sim.NewBaselinePolicy(cfg), 5)
+	eng := NewGSEngine(d, cfg, 20, 61)
+	eng.Reset(61)
+	prot := emTrace(eng, 4)
+
+	n := min(len(base1), len(base2))
+	self := math.Abs(signal.Pearson(base1[:n], base2[:n]))
+	n = min(len(base1), len(prot))
+	leak := math.Abs(signal.Pearson(prot[:n], base1[:n]))
+	t.Logf("EM: undefended self-corr %.2f, GS-vs-undefended %.2f", self, leak)
+	if self < 0.5 {
+		t.Errorf("undefended EM fingerprint should repeat: %.2f", self)
+	}
+	if leak > 0.6*self {
+		t.Errorf("GS should break the EM fingerprint: %.2f vs %.2f", leak, self)
+	}
+}

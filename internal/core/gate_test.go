@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/signal"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+func TestGatePanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGate(nil, nil, nil)
+}
+
+func TestWindowTrigger(t *testing.T) {
+	tr := WindowTrigger(5, 10)
+	for step, want := range map[int]bool{0: false, 4: false, 5: true, 9: true, 10: false} {
+		if tr(step) != want {
+			t.Fatalf("trigger(%d)=%v", step, tr(step))
+		}
+	}
+}
+
+func TestGateProtectsOnlyTheWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	d := testDesign(t)
+	cfg := sim.Sys1()
+
+	// Baseline reference for the same workload.
+	mBase := sim.NewMachine(cfg, 31)
+	wBase := workload.NewApp("streamcluster").Scale(0.4)
+	wBase.Reset(9)
+	base := sim.Run(mBase, wBase, sim.NewBaselinePolicy(cfg), sim.RunSpec{
+		ControlPeriodTicks: 20, MaxTicks: 30000,
+	})
+
+	// Gate on for periods [500, 1000) — a 10 s sensitive section.
+	eng := NewGSEngine(d, cfg, 20, 77)
+	gate := NewGate(eng, sim.NewBaselinePolicy(cfg), WindowTrigger(500, 1000))
+	gate.Reset(77)
+	mGate := sim.NewMachine(cfg, 31)
+	wGate := workload.NewApp("streamcluster").Scale(0.4)
+	wGate.Reset(9)
+	prot := sim.Run(mGate, wGate, gate, sim.RunSpec{
+		ControlPeriodTicks: 20, MaxTicks: 30000,
+	})
+
+	n := len(prot.DefenseSamples)
+	if n < 1200 {
+		t.Fatalf("short run: %d", n)
+	}
+	// Outside the window the trace must match the app (cheap); inside it
+	// must not.
+	offCorr := math.Abs(signal.Pearson(prot.DefenseSamples[50:450], base.DefenseSamples[50:450]))
+	onCorr := math.Abs(signal.Pearson(prot.DefenseSamples[550:950], base.DefenseSamples[550:950]))
+	if offCorr < 0.5 {
+		t.Errorf("gated-off section should track the app: corr=%.2f", offCorr)
+	}
+	if onCorr > 0.45 {
+		t.Errorf("gated-on section should be obfuscated: corr=%.2f", onCorr)
+	}
+	if gate.Transitions != 1 {
+		t.Errorf("transitions=%d want 1", gate.Transitions)
+	}
+
+	// The §V point: gating cuts the overhead. Full-protection run:
+	engFull := NewGSEngine(d, cfg, 20, 77)
+	engFull.Reset(77)
+	mFull := sim.NewMachine(cfg, 31)
+	wFull := workload.NewApp("streamcluster").Scale(0.4)
+	wFull.Reset(9)
+	full := sim.Run(mFull, wFull, engFull, sim.RunSpec{
+		ControlPeriodTicks: 20, MaxTicks: 60000, StopOnFinish: true,
+	})
+	gateDone := prot.FinishedTick
+	if gateDone < 0 {
+		t.Fatal("gated run did not finish")
+	}
+	if full.FinishedTick > 0 && gateDone >= full.FinishedTick {
+		t.Errorf("gating should be faster: gated %d ticks vs full %d", gateDone, full.FinishedTick)
+	}
+}

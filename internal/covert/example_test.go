@@ -1,0 +1,19 @@
+package covert_test
+
+import (
+	"fmt"
+
+	"github.com/maya-defense/maya/internal/covert"
+	"github.com/maya-defense/maya/internal/sim"
+)
+
+// Example demonstrates the remote power covert channel of §I on an
+// undefended machine: a sender process modulates power, an outlet receiver
+// decodes the bits.
+func Example() {
+	cfg := sim.Sys1()
+	bits := covert.RandomBits(32, 7)
+	res := covert.Run(cfg, sim.NewBaselinePolicy(cfg), bits, 480, 10, 500, 5)
+	fmt.Printf("sent %d bits at %.0f ms/bit, BER %.2f\n", res.Bits, res.BitMS, res.BER)
+	// Output: sent 32 bits at 480 ms/bit, BER 0.00
+}

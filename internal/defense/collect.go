@@ -1,0 +1,212 @@
+package defense
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/maya-defense/maya/internal/signal"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/trace"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+// Class is one label in an attack experiment: a name and a workload
+// factory producing a fresh instance per run.
+type Class struct {
+	Name string
+	New  func() workload.Workload
+}
+
+// AppClasses builds the 11-application class set (attack 1), scaled.
+func AppClasses(scale float64) []Class {
+	out := make([]Class, len(workload.AppNames))
+	for i, n := range workload.AppNames {
+		name := n
+		out[i] = Class{Name: name, New: func() workload.Workload {
+			return workload.NewApp(name).Scale(scale)
+		}}
+	}
+	return out
+}
+
+// VideoClasses builds the 4-video class set (attack 2), scaled.
+func VideoClasses(scale float64) []Class {
+	out := make([]Class, len(workload.VideoNames))
+	for i, n := range workload.VideoNames {
+		name := n
+		out[i] = Class{Name: name, New: func() workload.Workload {
+			return workload.NewVideo(name).Scale(scale)
+		}}
+	}
+	return out
+}
+
+// PageClasses builds the 7-webpage class set (attack 3), scaled.
+func PageClasses(scale float64) []Class {
+	out := make([]Class, len(workload.PageNames))
+	for i, n := range workload.PageNames {
+		name := n
+		out[i] = Class{Name: name, New: func() workload.Workload {
+			return workload.NewPage(name).Scale(scale)
+		}}
+	}
+	return out
+}
+
+// InstrClasses builds the 3-instruction class set (PLATYPUS, Fig 15).
+func InstrClasses(work float64) []Class {
+	out := make([]Class, len(workload.InstrNames))
+	for i, n := range workload.InstrNames {
+		name := n
+		out[i] = Class{Name: name, New: func() workload.Workload {
+			return workload.NewInstrLoop(name, work)
+		}}
+	}
+	return out
+}
+
+// RunStats summarizes one run for the overhead analysis (Fig 14).
+type RunStats struct {
+	Label     int
+	Seconds   float64 // execution time until completion (or the cap)
+	EnergyJ   float64
+	AvgPowerW float64
+	Finished  bool
+}
+
+// CollectSpec configures attacker-visible trace collection under a defense.
+type CollectSpec struct {
+	Cfg    sim.Config
+	Design *Design
+	// Classes are the labels the attacker wants to distinguish.
+	Classes []Class
+	// RunsPerClass is the number of recorded executions per label (the
+	// paper records 1,000 traces per application; tests use fewer).
+	RunsPerClass int
+	// MaxTicks bounds each run.
+	MaxTicks int
+	// StopOnFinish ends runs at workload completion (used for overhead
+	// accounting); attack traces usually record a fixed window.
+	StopOnFinish bool
+	// AttackPeriodTicks is the attacker's sampling interval in ticks
+	// (20 = 20 ms RAPL; 50 = 50 ms outlet).
+	AttackPeriodTicks int
+	// Outlet selects the AC-outlet sensor instead of RAPL counters.
+	Outlet bool
+	// Seed derives all per-run secrets.
+	Seed uint64
+	// ControlPeriodTicks is the defense period (default 20).
+	ControlPeriodTicks int
+	// WarmupTicks runs the defense on the idle machine before the workload
+	// starts and before recording begins. Maya is deployed as an always-on
+	// privileged service, so an attacker never observes the controller's
+	// cold start — only the app starting under an already-settled defense.
+	WarmupTicks int
+}
+
+// Collect runs the experiment and returns the attacker's dataset along with
+// per-run stats. Runs execute in parallel across CPUs; results are
+// deterministic for a given spec because every run derives its own seeds.
+func Collect(spec CollectSpec) (*trace.Dataset, []RunStats) {
+	if spec.AttackPeriodTicks <= 0 {
+		spec.AttackPeriodTicks = 20
+	}
+	if spec.ControlPeriodTicks <= 0 {
+		spec.ControlPeriodTicks = 20
+	}
+	if spec.RunsPerClass <= 0 {
+		spec.RunsPerClass = 1
+	}
+	if spec.MaxTicks <= 0 {
+		spec.MaxTicks = 60000
+	}
+
+	names := make([]string, len(spec.Classes))
+	for i, c := range spec.Classes {
+		names[i] = c.Name
+	}
+	ds := &trace.Dataset{ClassNames: names}
+
+	type job struct{ label, run int }
+	type result struct {
+		label, run int
+		samples    []float64
+		stats      RunStats
+	}
+	jobs := make(chan job)
+	results := make([]result, len(spec.Classes)*spec.RunsPerClass)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res := runOne(spec, j.label, j.run)
+				results[j.label*spec.RunsPerClass+j.run] = result{
+					label: j.label, run: j.run, samples: res.samples, stats: res.stats,
+				}
+			}
+		}()
+	}
+	for label := range spec.Classes {
+		for run := 0; run < spec.RunsPerClass; run++ {
+			jobs <- job{label, run}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	periodMS := float64(spec.AttackPeriodTicks) * spec.Cfg.TickSeconds * 1000
+	stats := make([]RunStats, 0, len(results))
+	for _, r := range results {
+		ds.Add(r.label, periodMS, r.samples)
+		stats = append(stats, r.stats)
+	}
+	return ds, stats
+}
+
+type oneResult struct {
+	samples []float64
+	stats   RunStats
+}
+
+// runOne executes a single labeled run under the defense.
+func runOne(spec CollectSpec, label, run int) oneResult {
+	// Per-run seeds: distinct streams for machine noise, workload jitter,
+	// and the defense's secret draws.
+	base := spec.Seed + uint64(label)*1_000_003 + uint64(run)*7_919
+	m := sim.NewMachine(spec.Cfg, base+1)
+	w := spec.Classes[label].New()
+	w.Reset(base + 2)
+	pol := spec.Design.Policy(base + 3)
+
+	var sensor sim.PowerSensor
+	if spec.Outlet {
+		sensor = sim.NewOutletSensor(spec.Cfg, base+4)
+	} else {
+		sensor = sim.NewRAPLSensor(m)
+	}
+	att := &sim.Sampler{Sensor: sensor, PeriodTicks: spec.AttackPeriodTicks}
+	res := sim.Run(m, w, pol, sim.RunSpec{
+		ControlPeriodTicks: spec.ControlPeriodTicks,
+		MaxTicks:           spec.MaxTicks,
+		StopOnFinish:       spec.StopOnFinish,
+		Samplers:           []*sim.Sampler{att},
+		WarmupTicks:        spec.WarmupTicks,
+	})
+	seconds := res.Seconds
+	if res.FinishedTick >= 0 {
+		seconds = float64(res.FinishedTick) * spec.Cfg.TickSeconds
+	}
+	return oneResult{
+		samples: att.Samples,
+		stats: RunStats{
+			Label:     label,
+			Seconds:   seconds,
+			EnergyJ:   res.EnergyJ,
+			AvgPowerW: signal.Mean(res.TickPowerW),
+			Finished:  res.FinishedTick >= 0,
+		},
+	}
+}

@@ -1,0 +1,209 @@
+package defense
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/core"
+	"github.com/maya-defense/maya/internal/signal"
+	"github.com/maya-defense/maya/internal/sim"
+)
+
+var (
+	artMu   sync.Mutex
+	artSys1 *core.Design
+)
+
+func sys1Art(t *testing.T) *core.Design {
+	t.Helper()
+	artMu.Lock()
+	defer artMu.Unlock()
+	if artSys1 == nil {
+		d, err := core.DesignFor(sim.Sys1(), core.DefaultDesignOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		artSys1 = d
+	}
+	return artSys1
+}
+
+func TestKindNames(t *testing.T) {
+	want := []string{"Baseline", "Noisy Baseline", "Random Inputs", "Maya Constant", "Maya GS"}
+	for i, k := range Kinds {
+		if k.String() != want[i] {
+			t.Fatalf("kind %d name %q want %q", i, k.String(), want[i])
+		}
+	}
+}
+
+func TestMayaDesignsRequireArtifact(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without artifact")
+		}
+	}()
+	NewDesign(MayaGS, sim.Sys1(), nil, 20)
+}
+
+func TestNoisyBaselineFixedPerRun(t *testing.T) {
+	cfg := sim.Sys1()
+	d := NewDesign(NoisyBaseline, cfg, nil, 20)
+	p := d.Policy(7)
+	first := p.Decide(0, 10)
+	for i := 1; i < 100; i++ {
+		if got := p.Decide(i, 15); got != first {
+			t.Fatal("noisy baseline changed inputs mid-run")
+		}
+	}
+	// Different run seeds give different settings.
+	q := d.Policy(8)
+	if q.Decide(0, 10) == first {
+		t.Fatal("noisy baseline identical across runs")
+	}
+}
+
+func TestRandomInputsChangesAtRuntime(t *testing.T) {
+	cfg := sim.Sys1()
+	d := NewDesign(RandomInputs, cfg, nil, 20)
+	p := d.Policy(3)
+	seen := map[sim.Inputs]bool{}
+	for i := 0; i < 500; i++ {
+		seen[p.Decide(i, 12)] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("random inputs barely changed: %d distinct settings", len(seen))
+	}
+}
+
+func TestCollectShapesAndDeterminism(t *testing.T) {
+	cfg := sim.Sys1()
+	spec := CollectSpec{
+		Cfg:          cfg,
+		Design:       NewDesign(Baseline, cfg, nil, 20),
+		Classes:      AppClasses(0.02)[:3],
+		RunsPerClass: 2,
+		MaxTicks:     3000,
+		Seed:         5,
+	}
+	ds, stats := Collect(spec)
+	if len(ds.Traces) != 6 {
+		t.Fatalf("traces=%d want 6", len(ds.Traces))
+	}
+	if len(stats) != 6 {
+		t.Fatalf("stats=%d", len(stats))
+	}
+	// 3000 ticks at 20-tick sampling → 150 samples per trace.
+	for _, tr := range ds.Traces {
+		if len(tr.Samples) != 150 {
+			t.Fatalf("trace has %d samples want 150", len(tr.Samples))
+		}
+		if tr.PeriodMS != 20 {
+			t.Fatalf("period %g", tr.PeriodMS)
+		}
+	}
+	// Determinism across invocations (parallel workers must not matter).
+	ds2, _ := Collect(spec)
+	for i := range ds.Traces {
+		for j := range ds.Traces[i].Samples {
+			if ds.Traces[i].Samples[j] != ds2.Traces[i].Samples[j] {
+				t.Fatal("collection not deterministic")
+			}
+		}
+	}
+}
+
+func TestCollectOutletSensor(t *testing.T) {
+	cfg := sim.Sys3()
+	spec := CollectSpec{
+		Cfg:               cfg,
+		Design:            NewDesign(Baseline, cfg, nil, 20),
+		Classes:           PageClasses(0.3)[:2],
+		RunsPerClass:      1,
+		MaxTicks:          5000,
+		AttackPeriodTicks: 50, // 50 ms outlet sampling
+		Outlet:            true,
+		Seed:              9,
+	}
+	ds, _ := Collect(spec)
+	for _, tr := range ds.Traces {
+		if tr.PeriodMS != 50 {
+			t.Fatalf("outlet period %g want 50", tr.PeriodMS)
+		}
+		// Wall power includes rest-of-system: must exceed core-only levels.
+		if signal.Mean(tr.Samples) < cfg.RestOfSystemW {
+			t.Fatalf("outlet trace mean %g below rest-of-system %g",
+				signal.Mean(tr.Samples), cfg.RestOfSystemW)
+		}
+	}
+}
+
+func TestDefensesSeparateInPower(t *testing.T) {
+	// Sanity for Fig 14's direction: defenses lower average power and raise
+	// execution time relative to Baseline.
+	cfg := sim.Sys1()
+	art := sys1Art(t)
+	// Representative scale: the parallel phase must dominate, as in the
+	// paper's native-input runs, for the energy-parity property to apply.
+	classes := AppClasses(0.3)[:1]
+	run := func(k Kind) RunStats {
+		spec := CollectSpec{
+			Cfg:          cfg,
+			Design:       NewDesign(k, cfg, art, 20),
+			Classes:      classes,
+			RunsPerClass: 1,
+			MaxTicks:     200000,
+			StopOnFinish: true,
+			Seed:         11,
+		}
+		_, stats := Collect(spec)
+		var agg RunStats
+		for _, s := range stats {
+			if !s.Finished {
+				t.Fatalf("%v run did not finish", k)
+			}
+			agg.Seconds += s.Seconds
+			agg.EnergyJ += s.EnergyJ
+		}
+		agg.Seconds /= float64(len(stats))
+		agg.EnergyJ /= float64(len(stats))
+		return agg
+	}
+	base := run(Baseline)
+	gs := run(MayaGS)
+	if gs.Seconds <= base.Seconds {
+		t.Fatalf("Maya GS should slow execution: %g vs %g s", gs.Seconds, base.Seconds)
+	}
+	// §VII-E: Maya GS total energy ≈ Baseline energy (lower power × longer
+	// time); require the ratio within a generous band.
+	ratio := gs.EnergyJ / base.EnergyJ
+	if ratio < 0.5 || ratio > 2.2 {
+		t.Fatalf("GS/Baseline energy ratio %g outside plausible band", ratio)
+	}
+}
+
+func TestMayaGSTracesFollowMaskNotApp(t *testing.T) {
+	// Attack-surface view: two GS-protected runs of the same app are
+	// mutually uncorrelated (each has its own mask), which is the property
+	// that defeats trace averaging (§VII-B).
+	cfg := sim.Sys1()
+	art := sys1Art(t)
+	spec := CollectSpec{
+		Cfg:          cfg,
+		Design:       NewDesign(MayaGS, cfg, art, 20),
+		Classes:      AppClasses(0.3)[:1],
+		RunsPerClass: 2,
+		MaxTicks:     30000,
+		Seed:         13,
+	}
+	ds, _ := Collect(spec)
+	a, b := ds.Traces[0].Samples, ds.Traces[1].Samples
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if c := math.Abs(signal.Pearson(a[:n], b[:n])); c > 0.3 {
+		t.Fatalf("two GS runs correlate: %g", c)
+	}
+}

@@ -1,0 +1,30 @@
+package defense_test
+
+import (
+	"fmt"
+
+	"github.com/maya-defense/maya/internal/defense"
+	"github.com/maya-defense/maya/internal/sim"
+)
+
+// Example collects a small attacker-visible dataset under the (insecure)
+// baseline — the front half of every attack experiment.
+func Example() {
+	cfg := sim.Sys1()
+	classes := defense.AppClasses(0.05)[:2] // blackscholes, bodytrack — tiny
+	ds, stats := defense.Collect(defense.CollectSpec{
+		Cfg:          cfg,
+		Design:       defense.NewDesign(defense.Baseline, cfg, nil, 20),
+		Classes:      classes,
+		RunsPerClass: 3,
+		MaxTicks:     2000,
+		Seed:         1,
+	})
+	fmt.Println("traces:", len(ds.Traces))
+	fmt.Println("runs accounted:", len(stats))
+	fmt.Println("samples per trace:", len(ds.Traces[0].Samples))
+	// Output:
+	// traces: 6
+	// runs accounted: 6
+	// samples per trace: 100
+}

@@ -1,0 +1,108 @@
+// Package dtw implements dynamic time warping, one of the signal-analysis
+// techniques the paper reports attackers may use (§VII-B cites Sakoe-Chiba
+// style DTW [48]); the evaluation shows DTW cannot identify the true
+// information-carrying patterns under Maya GS.
+package dtw
+
+import (
+	"math"
+)
+
+// Distance returns the unconstrained DTW distance between a and b with
+// absolute-difference local cost. It runs in O(len(a)*len(b)) time and
+// O(min(len(a),len(b))) space.
+func Distance(a, b []float64) float64 {
+	return WindowedDistance(a, b, -1)
+}
+
+// WindowedDistance returns the DTW distance subject to a Sakoe-Chiba band
+// of half-width w (w < 0 disables the constraint). Paths are restricted to
+// |i - j·len(a)/len(b)| <= w, the standard slope-normalized band.
+func WindowedDistance(a, b []float64, w int) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		if n == 0 && m == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	// Keep b as the inner dimension; two rolling rows.
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = math.Inf(1)
+	}
+	prev[0] = 0
+	ratio := float64(m) / float64(n)
+	for i := 1; i <= n; i++ {
+		cur[0] = math.Inf(1)
+		lo, hi := 1, m
+		if w >= 0 {
+			center := int(float64(i) * ratio)
+			if lo < center-w {
+				lo = center - w
+			}
+			if hi > center+w {
+				hi = center + w
+			}
+			if lo < 1 {
+				lo = 1
+			}
+			if hi > m {
+				hi = m
+			}
+			for j := 1; j < lo; j++ {
+				cur[j] = math.Inf(1)
+			}
+			for j := hi + 1; j <= m; j++ {
+				cur[j] = math.Inf(1)
+			}
+		}
+		for j := lo; j <= hi; j++ {
+			cost := math.Abs(a[i-1] - b[j-1])
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = cost + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// NormalizedDistance returns the DTW distance divided by the path-length
+// upper bound (len(a)+len(b)), making distances comparable across trace
+// lengths.
+func NormalizedDistance(a, b []float64) float64 {
+	if len(a)+len(b) == 0 {
+		return 0
+	}
+	return Distance(a, b) / float64(len(a)+len(b))
+}
+
+// NearestNeighbor classifies query against labeled reference traces by
+// 1-NN under normalized DTW distance, returning the label of the closest
+// reference. This is the classifier used in the Fig 11 "other techniques"
+// analysis. refs maps label → example traces.
+func NearestNeighbor(query []float64, refs map[int][][]float64) int {
+	bestLabel, bestDist := -1, math.Inf(1)
+	// Iterate labels in deterministic order.
+	maxLabel := -1
+	for l := range refs {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	for l := 0; l <= maxLabel; l++ {
+		for _, ref := range refs[l] {
+			if d := NormalizedDistance(query, ref); d < bestDist {
+				bestDist, bestLabel = d, l
+			}
+		}
+	}
+	return bestLabel
+}

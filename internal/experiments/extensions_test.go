@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCovertChannelExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	r, err := CovertChannel(tiny(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaselineBER > 0.05 {
+		t.Errorf("undefended channel should work: BER %.3f", r.BaselineBER)
+	}
+	if r.MayaBER < 0.25 {
+		t.Errorf("Maya should destroy the channel: BER %.3f", r.MayaBER)
+	}
+	if !strings.Contains(r.Render(), "coin flip") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestThermalExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	r, err := Thermal(tiny(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Undefended thermal traces repeat run to run; Maya's do not follow the
+	// app's trace.
+	if r.BaselineSelfCorr < 0.6 {
+		t.Errorf("undefended thermal fingerprint should be repeatable: %.2f", r.BaselineSelfCorr)
+	}
+	if r.MayaCorr > 0.7*r.BaselineSelfCorr {
+		t.Errorf("Maya thermal trace still follows the app: %.2f vs %.2f",
+			r.MayaCorr, r.BaselineSelfCorr)
+	}
+	// Per-app temperature spread collapses.
+	if r.MayaSpread > 0.6*r.BaselineSpread {
+		t.Errorf("thermal fingerprint spread not collapsed: %.2f vs %.2f °C",
+			r.MayaSpread, r.BaselineSpread)
+	}
+	t.Log(r.Render())
+}
+
+func TestToolbox(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	sc := attackTiny()
+	sc.RunsPerClass = 60
+	sc.Epochs = 40
+	r, err := Toolbox(sc, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r.Render())
+	if len(r.Attackers) != 4 {
+		t.Fatalf("attackers=%v", r.Attackers)
+	}
+	// The amplitude-domain attackers must beat chance against the weak
+	// defense. The spectrogram attacker is exempt: Random Inputs *is*
+	// broadband high-frequency modulation, which floods exactly the band
+	// energies that attacker reads — its strength is against defenses that
+	// are quiet in that band (like Maya GS).
+	for i := 0; i < 3; i++ {
+		if r.WeakAcc[i] < r.Chance+0.05 {
+			t.Errorf("%s should beat chance against random inputs: %.2f", r.Attackers[i], r.WeakAcc[i])
+		}
+	}
+	if r.WeakAcc[1] < r.Chance+0.12 {
+		t.Errorf("templates should leak clearly against random inputs: %.2f", r.WeakAcc[1])
+	}
+	// Amplitude-domain attackers near chance against GS.
+	for i := 0; i < 3; i++ {
+		if r.GSAcc[i] > r.Chance+0.15 {
+			t.Errorf("%s leaked against GS: %.2f", r.Attackers[i], r.GSAcc[i])
+		}
+	}
+	// The spectrogram residual stays within its documented range.
+	if sg := r.GSAcc[3]; sg < r.Chance || sg > 0.75 {
+		t.Errorf("spectrogram residual out of documented range: %.2f", sg)
+	}
+}

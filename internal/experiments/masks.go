@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/maya-defense/maya/internal/mask"
+	"github.com/maya-defense/maya/internal/signal"
+)
+
+// MaskProfile characterizes one mask family in both domains (a row of
+// Table II, a column of Fig 4).
+type MaskProfile struct {
+	Name string
+	// Time-domain samples (for plotting) and property measurements.
+	Samples       []float64
+	MeanChange    float64 // std of per-window means
+	VarChange     float64 // std of per-window variances
+	SpectralFlat  float64 // mean per-window spectral flatness ("Spread")
+	SpectralPeaks float64 // mean per-window prominent peak count ("Peaks")
+}
+
+// Fig4Result reproduces Fig 4 and Table II: the five standard signals and
+// their time/frequency properties.
+type Fig4Result struct {
+	SampleHz float64
+	Profiles []MaskProfile
+}
+
+// ID implements Result.
+func (r *Fig4Result) ID() string { return "Fig 4 / Table II" }
+
+// Fig4 generates each mask family over the given band and measures the
+// Table II properties.
+func Fig4(band mask.Band, sampleHz float64, samples int, seed uint64) *Fig4Result {
+	if samples <= 0 {
+		samples = 6000
+	}
+	hold := mask.DefaultHold()
+	gens := []mask.Generator{
+		mask.NewConstant(band.Mid()),
+		mask.NewUniformRandom(band, hold, seed),
+		mask.NewGaussian(band, hold, seed),
+		mask.NewSinusoid(band, hold, sampleHz, seed),
+		mask.NewGaussianSinusoid(band, hold, sampleHz, seed),
+	}
+	res := &Fig4Result{SampleHz: sampleHz}
+	for _, g := range gens {
+		x := mask.Generate(g, samples)
+		p := MaskProfile{Name: g.Name(), Samples: x}
+		var means, vars []float64
+		for _, w := range signal.Windows(x, 50) {
+			means = append(means, signal.Mean(w))
+			vars = append(vars, signal.Variance(w))
+		}
+		p.MeanChange = signal.StdDev(means)
+		p.VarChange = signal.StdDev(vars)
+		ws := signal.Windows(x, 250)
+		for _, w := range ws {
+			_, mags := signal.Spectrum(w, sampleHz)
+			p.SpectralFlat += signal.SpectralFlatness(mags)
+			p.SpectralPeaks += float64(signal.SpectralPeaks(mags))
+		}
+		if len(ws) > 0 {
+			p.SpectralFlat /= float64(len(ws))
+			p.SpectralPeaks /= float64(len(ws))
+		}
+		res.Profiles = append(res.Profiles, p)
+	}
+	return res
+}
+
+// Render implements Result.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — mask families at %.0f Hz\n", r.ID(), r.SampleHz)
+	fmt.Fprintf(&b, "%-20s %12s %12s %10s %8s\n", "signal", "mean-change", "var-change", "flatness", "peaks")
+	for _, p := range r.Profiles {
+		fmt.Fprintf(&b, "%-20s %12.3f %12.3f %10.4f %8.2f\n",
+			p.Name, p.MeanChange, p.VarChange, p.SpectralFlat, p.SpectralPeaks)
+	}
+	b.WriteString("expected (Table II): constant changes nothing; uniform changes mean only;\n")
+	b.WriteString("gaussian adds variance change and spread; sinusoid adds peaks; the\n")
+	b.WriteString("gaussian sinusoid (proposed) has all four properties.\n")
+	return b.String()
+}

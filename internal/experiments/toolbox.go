@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/maya-defense/maya/internal/attack"
+	"github.com/maya-defense/maya/internal/defense"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/trace"
+)
+
+// ToolboxResult runs the full §III attacker toolbox — "machine learning,
+// signal processing, and statistics" — against one weak defense and against
+// Maya GS, on the same captured datasets. It generalizes the paper's
+// MLP-only evaluation and surfaces which analysis styles the defense does
+// and does not silence.
+type ToolboxResult struct {
+	Chance    float64
+	Attackers []string
+	// WeakAcc / GSAcc hold per-attacker accuracies against Random Inputs
+	// and Maya GS respectively.
+	WeakAcc []float64
+	GSAcc   []float64
+}
+
+// ID implements Result.
+func (r *ToolboxResult) ID() string { return "Attacker toolbox (§III)" }
+
+// Toolbox runs MLP, template, kNN, and spectrogram attackers on shared
+// Sys1 datasets (5 diverse app classes).
+func Toolbox(sc Scale, seed uint64) (*ToolboxResult, error) {
+	cfg := sim.Sys1()
+	art, err := DesignFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	all := defense.AppClasses(sc.WorkloadScale)
+	classes := []defense.Class{all[0], all[2], all[5], all[6], all[9]}
+
+	collect := func(kind defense.Kind, off uint64) *trace.Dataset {
+		ds, _ := defense.Collect(defense.CollectSpec{
+			Cfg:          cfg,
+			Design:       defense.NewDesign(kind, cfg, art, 20),
+			Classes:      classes,
+			RunsPerClass: sc.RunsPerClass,
+			MaxTicks:     sc.TraceTicks,
+			WarmupTicks:  sc.WarmupTicks,
+			Seed:         seed + off,
+		})
+		return ds
+	}
+	weak := collect(defense.RandomInputs, 11)
+	gs := collect(defense.MayaGS, 22)
+
+	winSpec := attack.DefaultSpec()
+	winSpec.WindowLen = sc.TraceTicks / 20 / 5
+	winSpec.Train.Epochs = sc.Epochs
+	sgSpec := attack.SpectrogramSpec()
+	sgSpec.WindowLen = sc.TraceTicks / 20
+	sgSpec.Train.Epochs = sc.Epochs
+
+	type attacker struct {
+		name string
+		run  func(ds *trace.Dataset) (float64, error)
+	}
+	attackers := []attacker{
+		{"MLP (windows)", func(ds *trace.Dataset) (float64, error) {
+			r, err := attack.Run(ds, winSpec)
+			if err != nil {
+				return 0, err
+			}
+			return r.AverageAccuracy, nil
+		}},
+		{"templates", func(ds *trace.Dataset) (float64, error) {
+			return attack.RunTemplate(ds, winSpec)
+		}},
+		{"kNN (k=5)", func(ds *trace.Dataset) (float64, error) {
+			return attack.RunKNN(ds, winSpec, 5)
+		}},
+		{"MLP (spectrogram)", func(ds *trace.Dataset) (float64, error) {
+			r, err := attack.Run(ds, sgSpec)
+			if err != nil {
+				return 0, err
+			}
+			return r.AverageAccuracy, nil
+		}},
+	}
+	res := &ToolboxResult{Chance: 1 / float64(len(classes))}
+	for _, a := range attackers {
+		wa, err := a.run(weak)
+		if err != nil {
+			return nil, fmt.Errorf("toolbox %s vs random inputs: %w", a.name, err)
+		}
+		ga, err := a.run(gs)
+		if err != nil {
+			return nil, fmt.Errorf("toolbox %s vs GS: %w", a.name, err)
+		}
+		res.Attackers = append(res.Attackers, a.name)
+		res.WeakAcc = append(res.WeakAcc, wa)
+		res.GSAcc = append(res.GSAcc, ga)
+	}
+	return res, nil
+}
+
+// Render implements Result.
+func (r *ToolboxResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — per-attacker accuracy, 5 app classes (chance %.0f%%)\n", r.ID(), 100*r.Chance)
+	fmt.Fprintf(&b, "%-20s %15s %10s\n", "attacker", "random inputs", "Maya GS")
+	for i, a := range r.Attackers {
+		fmt.Fprintf(&b, "%-20s %14.0f%% %9.0f%%\n", a, 100*r.WeakAcc[i], 100*r.GSAcc[i])
+	}
+	b.WriteString("expected: every attacker beats chance against the weak defense; against\n")
+	b.WriteString("Maya GS the amplitude-domain attackers (windows, templates, kNN) sit at\n")
+	b.WriteString("the chance floor, while the spectrogram attacker retains the documented\n")
+	b.WriteString("actuation-granularity residual (see EXPERIMENTS.md).\n")
+	return b.String()
+}

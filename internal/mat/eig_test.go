@@ -1,0 +1,170 @@
+package mat
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+// sortEigs orders eigenvalues by (real, imag) for comparison.
+func sortEigs(e []complex128) {
+	sort.Slice(e, func(i, j int) bool {
+		if real(e[i]) != real(e[j]) {
+			return real(e[i]) < real(e[j])
+		}
+		return imag(e[i]) < imag(e[j])
+	})
+}
+
+func eigsClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortEigs(a)
+	sortEigs(b)
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEigenvaluesDiagonal(t *testing.T) {
+	a := Diag([]float64{3, -1, 0.5})
+	got := Eigenvalues(a)
+	want := []complex128{3, -1, 0.5}
+	if !eigsClose(got, want, 1e-10) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEigenvaluesTriangular(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 5, -3},
+		{0, -4, 1},
+		{0, 0, 7},
+	})
+	got := Eigenvalues(a)
+	if !eigsClose(got, []complex128{2, -4, 7}, 1e-9) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEigenvaluesComplexPair(t *testing.T) {
+	// Rotation-scaling matrix: eigenvalues r·e^{±iθ}.
+	r, theta := 0.9, 0.7
+	a := FromRows([][]float64{
+		{r * math.Cos(theta), -r * math.Sin(theta)},
+		{r * math.Sin(theta), r * math.Cos(theta)},
+	})
+	got := Eigenvalues(a)
+	want := []complex128{
+		cmplx.Rect(r, theta),
+		cmplx.Rect(r, -theta),
+	}
+	if !eigsClose(got, want, 1e-9) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestEigenvaluesCompanion(t *testing.T) {
+	// Companion matrix of (z-1)(z-2)(z-3) = z³ − 6z² + 11z − 6.
+	a := FromRows([][]float64{
+		{6, -11, 6},
+		{1, 0, 0},
+		{0, 1, 0},
+	})
+	got := Eigenvalues(a)
+	if !eigsClose(got, []complex128{1, 2, 3}, 1e-8) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEigenvaluesTraceDetInvariants(t *testing.T) {
+	// Σλ = trace, Πλ = det — for random matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		eigs := Eigenvalues(a)
+		if len(eigs) != n {
+			return false
+		}
+		var sum, prod complex128 = 0, 1
+		for _, e := range eigs {
+			sum += e
+			prod *= e
+		}
+		tr := 0.0
+		for i := 0; i < n; i++ {
+			tr += a.At(i, i)
+		}
+		lu, err := Factor(a)
+		det := 0.0
+		if err == nil {
+			det = lu.Det()
+		}
+		scale := 1 + math.Abs(tr)
+		if cmplx.Abs(sum-complex(tr, 0)) > 1e-6*scale {
+			return false
+		}
+		dScale := 1 + math.Abs(det)
+		return err != nil || cmplx.Abs(prod-complex(det, 0)) < 1e-6*dScale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpectralRadiusExactMatchesGelfand(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(5)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, 0.4*rng.NormFloat64())
+			}
+		}
+		exact := SpectralRadiusExact(a)
+		approx := SpectralRadius(a)
+		if math.Abs(exact-approx) > 0.05*(1+exact) {
+			t.Fatalf("exact %g vs approx %g", exact, approx)
+		}
+	}
+}
+
+func TestEigenvaluesEmptyAndOne(t *testing.T) {
+	if got := Eigenvalues(New(0, 0)); len(got) != 0 {
+		t.Fatal("empty matrix should have no eigenvalues")
+	}
+	got := Eigenvalues(FromRows([][]float64{{4.5}}))
+	if len(got) != 1 || got[0] != 4.5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEigenvaluesDefectiveJordan(t *testing.T) {
+	// Jordan block: repeated eigenvalue 2 with deficiency.
+	a := FromRows([][]float64{
+		{2, 1, 0},
+		{0, 2, 1},
+		{0, 0, 2},
+	})
+	got := Eigenvalues(a)
+	for _, e := range got {
+		if cmplx.Abs(e-2) > 1e-4 {
+			t.Fatalf("Jordan eigenvalues %v", got)
+		}
+	}
+}

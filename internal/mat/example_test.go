@@ -1,0 +1,38 @@
+package mat_test
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"github.com/maya-defense/maya/internal/mat"
+)
+
+// ExampleLQRGain designs a discrete LQR regulator for a scalar plant —
+// the optimization kernel behind control.Synthesize.
+func ExampleLQRGain() {
+	a := mat.FromRows([][]float64{{0.9}})
+	b := mat.FromRows([][]float64{{1}})
+	q := mat.FromRows([][]float64{{1}})
+	r := mat.FromRows([][]float64{{1}})
+	k, err := mat.LQRGain(a, b, q, r)
+	if err != nil {
+		fmt.Println("synthesis failed:", err)
+		return
+	}
+	acl := a.Sub(b.Mul(k))
+	fmt.Printf("closed-loop pole %.3f (stable: %v)\n",
+		acl.At(0, 0), mat.SpectralRadius(acl) < 1)
+	// Output: closed-loop pole 0.362 (stable: true)
+}
+
+// ExampleEigenvalues finds a complex conjugate pair with the QR iteration.
+func ExampleEigenvalues() {
+	// 90° rotation scaled by 0.5: eigenvalues ±0.5i.
+	a := mat.FromRows([][]float64{
+		{0, -0.5},
+		{0.5, 0},
+	})
+	eigs := mat.Eigenvalues(a)
+	fmt.Printf("|λ₁| = %.1f, |λ₂| = %.1f\n", cmplx.Abs(eigs[0]), cmplx.Abs(eigs[1]))
+	// Output: |λ₁| = 0.5, |λ₂| = 0.5
+}

@@ -1,0 +1,218 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewZero(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("New not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("element mismatch: %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.Mul(Identity(3))
+	if !got.Equal(a, 0) {
+		t.Fatalf("A*I != A:\n%v", got)
+	}
+	got = Identity(2).Mul(a)
+	if !got.Equal(a, 0) {
+		t.Fatalf("I*A != A:\n%v", got)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if got := a.Mul(b); !got.Equal(want, 1e-12) {
+		t.Fatalf("got\n%vwant\n%v", got, want)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	v := make([]float64, 6)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	vm := New(6, 1)
+	for i, x := range v {
+		vm.Set(i, 0, x)
+	}
+	got := a.MulVec(v)
+	want := a.Mul(vm)
+	for i := range got {
+		if !almostEq(got[i], want.At(i, 0), 1e-12) {
+			t.Fatalf("MulVec[%d]=%g want %g", i, got[i], want.At(i, 0))
+		}
+	}
+	dst := make([]float64, 4)
+	a.MulVecTo(dst, v)
+	for i := range dst {
+		if dst[i] != got[i] {
+			t.Fatalf("MulVecTo disagrees at %d", i)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		a := New(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		return a.T().T().Equal(a, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubScaleProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(5)
+		c := 1 + rng.Intn(5)
+		a, b := New(r, c), New(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				a.Set(i, j, rng.NormFloat64())
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+		// (a+b)-b == a and 2a == a+a
+		if !a.Add(b).Sub(b).Equal(a, 1e-12) {
+			return false
+		}
+		return a.Scale(2).Equal(a.Add(a), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceSetSlice(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := a.Slice(1, 3, 0, 2)
+	want := FromRows([][]float64{{4, 5}, {7, 8}})
+	if !s.Equal(want, 0) {
+		t.Fatalf("Slice got\n%v", s)
+	}
+	b := New(4, 4)
+	b.SetSlice(1, 2, s)
+	if b.At(1, 2) != 4 || b.At(2, 3) != 8 || b.At(0, 0) != 0 {
+		t.Fatalf("SetSlice wrong:\n%v", b)
+	}
+}
+
+func TestRowColSetRow(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if r := a.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row(1)=%v", r)
+	}
+	if c := a.Col(0); c[0] != 1 || c[1] != 3 {
+		t.Fatalf("Col(0)=%v", c)
+	}
+	a.SetRow(0, []float64{9, 10})
+	if a.At(0, 1) != 10 {
+		t.Fatalf("SetRow failed:\n%v", a)
+	}
+	// Row returns a copy: mutating it must not affect the matrix.
+	r := a.Row(0)
+	r[0] = -1
+	if a.At(0, 0) != 9 {
+		t.Fatal("Row did not return a copy")
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := Diag([]float64{2, 3})
+	if d.At(0, 0) != 2 || d.At(1, 1) != 3 || d.At(0, 1) != 0 {
+		t.Fatalf("Diag wrong:\n%v", d)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := FromRows([][]float64{{3, -4}})
+	if a.FrobeniusNorm() != 5 {
+		t.Fatalf("frob=%g", a.FrobeniusNorm())
+	}
+	if a.MaxAbs() != 4 {
+		t.Fatalf("maxabs=%g", a.MaxAbs())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		mk := func() *Matrix {
+			m := New(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					m.Set(i, j, rng.NormFloat64())
+				}
+			}
+			return m
+		}
+		a, b, c := mk(), mk(), mk()
+		return a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c)), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSquare(rng *rand.Rand, n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+		m.Set(i, i, m.At(i, i)+float64(n)) // diagonal dominance: well conditioned
+	}
+	return m
+}
+
+func TestSolveVecKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveVec(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 → x=1, y=3
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("x=%v", x)
+	}
+}
+
+func TestSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randSquare(rng, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := SolveVec(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if !almostEq(got[i], want[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveVec(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randSquare(rng, 5)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).Equal(Identity(5), 1e-9) {
+		t.Fatalf("A*A^-1 != I:\n%v", a.Mul(inv))
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 3}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), 6, 1e-12) {
+		t.Fatalf("det=%g want 6", f.Det())
+	}
+	// Swapping rows flips the sign.
+	b := FromRows([][]float64{{0, 3}, {2, 0}})
+	fb, err := Factor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fb.Det(), -6, 1e-12) {
+		t.Fatalf("det=%g want -6", fb.Det())
+	}
+}
+
+func TestSolveMatrixRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSquare(rng, 4)
+	x := randSquare(rng, 4)
+	b := a.Mul(x)
+	got, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(x, 1e-8) {
+		t.Fatalf("Solve matrix RHS mismatch")
+	}
+}
+
+func TestQRLeastSquaresExactSystem(t *testing.T) {
+	// Overdetermined but consistent: solution is exact.
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	want := []float64{2, -1}
+	b := a.MulVec(want)
+	x, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !almostEq(x[i], want[i], 1e-10) {
+			t.Fatalf("x=%v want %v", x, want)
+		}
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The LS residual must be orthogonal to the column space of A.
+	rng := rand.New(rand.NewSource(11))
+	m, n := 40, 5
+	a := New(m, n)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		b[i] = rng.NormFloat64()
+	}
+	x, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := a.MulVec(x)
+	res := make([]float64, m)
+	for i := range res {
+		res[i] = b[i] - ax[i]
+	}
+	proj := a.T().MulVec(res)
+	for j := range proj {
+		if math.Abs(proj[j]) > 1e-8 {
+			t.Fatalf("Aᵀr[%d]=%g not ~0", j, proj[j])
+		}
+	}
+}
+
+func TestLeastSquaresRidgeShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m, n := 30, 4
+	a := New(m, n)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		b[i] = rng.NormFloat64()
+	}
+	x0, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := LeastSquares(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0, n1 := 0.0, 0.0
+	for i := range x0 {
+		n0 += x0[i] * x0[i]
+		n1 += x1[i] * x1[i]
+	}
+	if n1 >= n0 {
+		t.Fatalf("ridge did not shrink solution: %g >= %g", n1, n0)
+	}
+}
+
+func TestQRMatchesNormalEquations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 10 + rng.Intn(20)
+		n := 2 + rng.Intn(4)
+		a := New(m, n)
+		b := make([]float64, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			b[i] = rng.NormFloat64()
+		}
+		xq, err := LeastSquares(a, b, 0)
+		if err != nil {
+			return false
+		}
+		xn, err := LeastSquares(a, b, 1e-12)
+		if err != nil {
+			return false
+		}
+		for i := range xq {
+			if !almostEq(xq[i], xn[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

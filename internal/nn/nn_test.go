@@ -1,0 +1,240 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/rng"
+)
+
+func TestLogSoftmaxNormalized(t *testing.T) {
+	z := []float64{1, 2, 3, 4}
+	logSoftmax(z)
+	sum := 0.0
+	for _, v := range z {
+		if v > 0 {
+			t.Fatalf("log-probability %g > 0", v)
+		}
+		sum += math.Exp(v)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+}
+
+func TestLogSoftmaxStability(t *testing.T) {
+	z := []float64{1000, 1001, 999}
+	logSoftmax(z)
+	for _, v := range z {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("unstable logsoftmax: %v", z)
+		}
+	}
+}
+
+func TestMLPShapes(t *testing.T) {
+	r := rng.New(1)
+	m := NewMLP(r, 10, 8, 4, 3)
+	if m.InputSize() != 10 || m.NumClasses() != 3 {
+		t.Fatalf("shape wrong: in=%d out=%d", m.InputSize(), m.NumClasses())
+	}
+	want := 10*8 + 8 + 8*4 + 4 + 4*3 + 3
+	if m.NumParams() != want {
+		t.Fatalf("params=%d want %d", m.NumParams(), want)
+	}
+	lp := m.LogProbs(make([]float64, 10))
+	if len(lp) != 3 {
+		t.Fatalf("logprobs len %d", len(lp))
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	r := rng.New(2)
+	m := NewMLP(r, 5, 4, 2)
+	x := []float64{1, 0, 0.5, -1, 0.2}
+	if m.Predict(x) != m.Predict(x) {
+		t.Fatal("predict not deterministic")
+	}
+}
+
+// blob generates a linearly separable 2-class dataset.
+func blob(r *rng.Stream, n int) []Example {
+	out := make([]Example, 0, n)
+	for i := 0; i < n; i++ {
+		y := i % 2
+		cx := -2.0
+		if y == 1 {
+			cx = 2.0
+		}
+		out = append(out, Example{
+			X: []float64{cx + r.NormFloat64(), r.NormFloat64()},
+			Y: y,
+		})
+	}
+	return out
+}
+
+func TestTrainsSeparableProblem(t *testing.T) {
+	r := rng.New(3)
+	data := blob(r, 400)
+	train, val, test := Split(r, data, 0.6, 0.2)
+	m := NewMLP(r, 2, 8, 2)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 30
+	m.Train(r, train, val, cfg)
+	if acc := m.Accuracy(test); acc < 0.9 {
+		t.Fatalf("separable accuracy %g", acc)
+	}
+}
+
+func TestTrainsXOR(t *testing.T) {
+	// Nonlinear problem: requires the hidden layer to work.
+	r := rng.New(4)
+	var data []Example
+	for i := 0; i < 600; i++ {
+		a, b := r.Float64() > 0.5, r.Float64() > 0.5
+		y := 0
+		if a != b {
+			y = 1
+		}
+		x := []float64{0, 0}
+		if a {
+			x[0] = 1
+		}
+		if b {
+			x[1] = 1
+		}
+		x[0] += 0.1 * r.NormFloat64()
+		x[1] += 0.1 * r.NormFloat64()
+		data = append(data, Example{X: x, Y: y})
+	}
+	train, val, test := Split(r, data, 0.6, 0.2)
+	m := NewMLP(r, 2, 16, 8, 2)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 80
+	cfg.Patience = 0
+	m.Train(r, train, val, cfg)
+	if acc := m.Accuracy(test); acc < 0.9 {
+		t.Fatalf("XOR accuracy %g", acc)
+	}
+}
+
+func TestRandomLabelsStayAtChance(t *testing.T) {
+	// The Maya GS security premise as seen by the classifier: when features
+	// carry no label information, test accuracy stays near chance.
+	r := rng.New(5)
+	const k = 4
+	var data []Example
+	for i := 0; i < 800; i++ {
+		x := make([]float64, 6)
+		for j := range x {
+			x[j] = r.NormFloat64()
+		}
+		data = append(data, Example{X: x, Y: r.Intn(k)})
+	}
+	train, val, test := Split(r, data, 0.6, 0.2)
+	m := NewMLP(r, 6, 16, k)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 25
+	m.Train(r, train, val, cfg)
+	if acc := m.Accuracy(test); acc > 0.45 {
+		t.Fatalf("uninformative features classified at %g (chance 0.25)", acc)
+	}
+}
+
+func TestSplitProportionsAndDisjoint(t *testing.T) {
+	r := rng.New(6)
+	data := blob(r, 100)
+	train, val, test := Split(r, data, 0.6, 0.2)
+	if len(train) != 60 || len(val) != 20 || len(test) != 20 {
+		t.Fatalf("split %d/%d/%d", len(train), len(val), len(test))
+	}
+}
+
+func TestSplitBadFractionsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Split(rng.New(1), nil, 0.8, 0.3)
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	r := rng.New(7)
+	data := blob(r, 400)
+	train, val, test := Split(r, data, 0.6, 0.2)
+	m := NewMLP(r, 2, 8, 2)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 30
+	m.Train(r, train, val, cfg)
+	cm := Confusion(m, test, []string{"neg", "pos"})
+	// Rows normalized.
+	for i, row := range cm.Matrix {
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+	if cm.AverageAccuracy() < 0.85 {
+		t.Fatalf("avg accuracy %g", cm.AverageAccuracy())
+	}
+	if cm.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	// Numerical gradient check on a tiny network.
+	r := rng.New(8)
+	m := NewMLP(r, 3, 4, 2)
+	ex := Example{X: []float64{0.5, -0.3, 0.8}, Y: 1}
+
+	loss := func() float64 {
+		acts := m.newActs()
+		m.forward(ex.X, acts)
+		return -acts[len(acts)-1][ex.Y]
+	}
+
+	// Analytic gradients.
+	gw := []*dense{newDense(3, 4), newDense(4, 2)}
+	gb := [][]float64{make([]float64, 4), make([]float64, 2)}
+	acts := m.newActs()
+	deltas := make([][]float64, 3)
+	deltas[0] = make([]float64, 3)
+	deltas[1] = make([]float64, 4)
+	deltas[2] = make([]float64, 2)
+	m.forward(ex.X, acts)
+	m.backward(ex, acts, deltas, gw, gb)
+
+	const h = 1e-6
+	for l := range m.weights {
+		for i := range m.weights[l].w {
+			orig := m.weights[l].w[i]
+			m.weights[l].w[i] = orig + h
+			lp := loss()
+			m.weights[l].w[i] = orig - h
+			lm := loss()
+			m.weights[l].w[i] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-gw[l].w[i]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("layer %d weight %d: numeric %g analytic %g", l, i, num, gw[l].w[i])
+			}
+		}
+		for j := range m.biases[l] {
+			orig := m.biases[l][j]
+			m.biases[l][j] = orig + h
+			lp := loss()
+			m.biases[l][j] = orig - h
+			lm := loss()
+			m.biases[l][j] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-gb[l][j]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("layer %d bias %d: numeric %g analytic %g", l, j, num, gb[l][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/maya-defense/maya/internal/rng"
+)
+
+// Example is one labeled feature vector.
+type Example struct {
+	X []float64
+	Y int
+}
+
+// TrainConfig controls optimization.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	// LR is the Adam learning rate.
+	LR float64
+	// WeightDecay is the L2 penalty coefficient.
+	WeightDecay float64
+	// Patience stops training after this many epochs without validation
+	// improvement (0 disables early stopping).
+	Patience int
+	// Verbose emits per-epoch progress via the Log callback.
+	Log func(epoch int, trainLoss, valAcc float64)
+}
+
+// DefaultTrainConfig returns settings that converge for the attack
+// feature sizes used in this repository. Early stopping is off by default:
+// validation accuracy can sit at chance for several epochs while the loss
+// is still falling, and stopping there would under-train the attacker —
+// the security evaluation needs the strongest classifier it can get.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 60, BatchSize: 32, LR: 3e-3, WeightDecay: 1e-5, Patience: 0}
+}
+
+// adamState holds per-parameter moments.
+type adamState struct {
+	m, v []float64
+	t    int
+}
+
+// Train fits the network on train, monitoring accuracy on val for early
+// stopping. It returns the best validation accuracy observed.
+func (m *MLP) Train(r *rng.Stream, train, val []Example, cfg TrainConfig) float64 {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 40
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 1e-3
+	}
+	nLayers := len(m.weights)
+
+	// Gradient buffers and Adam state per layer.
+	gw := make([]*dense, nLayers)
+	gb := make([][]float64, nLayers)
+	aw := make([]*adamState, nLayers)
+	ab := make([]*adamState, nLayers)
+	for l := range m.weights {
+		gw[l] = newDense(m.weights[l].rows, m.weights[l].cols)
+		gb[l] = make([]float64, len(m.biases[l]))
+		aw[l] = &adamState{m: make([]float64, len(m.weights[l].w)), v: make([]float64, len(m.weights[l].w))}
+		ab[l] = &adamState{m: make([]float64, len(m.biases[l])), v: make([]float64, len(m.biases[l]))}
+	}
+	acts := m.newActs()
+	deltas := make([][]float64, len(m.sizes))
+	for i, s := range m.sizes {
+		deltas[i] = make([]float64, s)
+	}
+
+	order := make([]int, len(train))
+	for i := range order {
+		order[i] = i
+	}
+
+	bestVal := math.Inf(-1)
+	sinceBest := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		totalLoss := 0.0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			for l := range gw {
+				zero(gw[l].w)
+				zero(gb[l])
+			}
+			for _, idx := range order[start:end] {
+				ex := train[idx]
+				m.forward(ex.X, acts)
+				logp := acts[len(acts)-1]
+				totalLoss += -logp[ex.Y]
+				m.backward(ex, acts, deltas, gw, gb)
+			}
+			scale := 1 / float64(end-start)
+			for l := range gw {
+				adamStep(m.weights[l].w, gw[l].w, aw[l], cfg.LR, scale, cfg.WeightDecay)
+				adamStep(m.biases[l], gb[l], ab[l], cfg.LR, scale, 0)
+			}
+		}
+		valAcc := m.Accuracy(val)
+		if cfg.Log != nil {
+			cfg.Log(epoch, totalLoss/float64(len(train)), valAcc)
+		}
+		if valAcc > bestVal {
+			bestVal = valAcc
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+				break
+			}
+		}
+	}
+	if len(val) == 0 {
+		return 0
+	}
+	return bestVal
+}
+
+// backward accumulates gradients for one example into gw/gb. acts must hold
+// the forward activations for the example.
+func (m *MLP) backward(ex Example, acts, deltas [][]float64, gw []*dense, gb [][]float64) {
+	L := len(m.weights)
+	// Output delta: softmax − onehot (derivative of NLL∘LogSoftmax).
+	out := acts[L]
+	dOut := deltas[L]
+	for j := range dOut {
+		p := math.Exp(out[j])
+		if j == ex.Y {
+			p -= 1
+		}
+		dOut[j] = p
+	}
+	for l := L - 1; l >= 0; l-- {
+		w := m.weights[l]
+		in := acts[l]
+		d := deltas[l+1]
+		// Gradients.
+		g := gw[l]
+		for i := 0; i < w.rows; i++ {
+			xi := in[i]
+			if xi == 0 {
+				continue
+			}
+			row := g.w[i*w.cols : (i+1)*w.cols]
+			for j := range row {
+				row[j] += xi * d[j]
+			}
+		}
+		bg := gb[l]
+		for j := range bg {
+			bg[j] += d[j]
+		}
+		if l == 0 {
+			break
+		}
+		// Propagate: delta_l = (W delta_{l+1}) ⊙ ReLU'(act_l).
+		dPrev := deltas[l]
+		for i := 0; i < w.rows; i++ {
+			if in[i] <= 0 { // ReLU derivative is 0 here
+				dPrev[i] = 0
+				continue
+			}
+			row := w.w[i*w.cols : (i+1)*w.cols]
+			s := 0.0
+			for j, wv := range row {
+				s += wv * d[j]
+			}
+			dPrev[i] = s
+		}
+	}
+}
+
+func zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// adamStep applies one Adam update to params given summed gradients and the
+// batch scale factor.
+func adamStep(params, grads []float64, st *adamState, lr, scale, decay float64) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	st.t++
+	c1 := 1 - math.Pow(beta1, float64(st.t))
+	c2 := 1 - math.Pow(beta2, float64(st.t))
+	for i := range params {
+		g := grads[i]*scale + decay*params[i]
+		st.m[i] = beta1*st.m[i] + (1-beta1)*g
+		st.v[i] = beta2*st.v[i] + (1-beta2)*g*g
+		params[i] -= lr * (st.m[i] / c1) / (math.Sqrt(st.v[i]/c2) + eps)
+	}
+}
+
+// Accuracy returns the fraction of examples classified correctly.
+func (m *MLP) Accuracy(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	acts := m.newActs()
+	for _, ex := range examples {
+		m.forward(ex.X, acts)
+		logp := acts[len(acts)-1]
+		best := 0
+		for i, v := range logp {
+			if v > logp[best] {
+				best = i
+			}
+		}
+		if best == ex.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}
+
+// Split shuffles examples and divides them into train/validation/test sets
+// with the paper's 60/20/20 proportions (§VI-A).
+func Split(r *rng.Stream, examples []Example, trainFrac, valFrac float64) (train, val, test []Example) {
+	if trainFrac <= 0 || valFrac < 0 || trainFrac+valFrac >= 1 {
+		panic(fmt.Sprintf("nn: bad split fractions %g/%g", trainFrac, valFrac))
+	}
+	shuffled := append([]Example(nil), examples...)
+	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	n := len(shuffled)
+	nTrain := int(trainFrac * float64(n))
+	nVal := int(valFrac * float64(n))
+	return shuffled[:nTrain], shuffled[nTrain : nTrain+nVal], shuffled[nTrain+nVal:]
+}
+
+// ConfusionMatrix is row-normalized: Matrix[true][pred] is the fraction of
+// class `true` examples predicted as `pred` (the format of Figs 6, 8, 9).
+type ConfusionMatrix struct {
+	Classes []string
+	Matrix  [][]float64
+	Counts  [][]int
+}
+
+// Confusion evaluates the model on examples and builds the matrix.
+func Confusion(m *MLP, examples []Example, classes []string) *ConfusionMatrix {
+	k := len(classes)
+	cm := &ConfusionMatrix{Classes: classes}
+	cm.Counts = make([][]int, k)
+	cm.Matrix = make([][]float64, k)
+	for i := 0; i < k; i++ {
+		cm.Counts[i] = make([]int, k)
+		cm.Matrix[i] = make([]float64, k)
+	}
+	acts := m.newActs()
+	for _, ex := range examples {
+		m.forward(ex.X, acts)
+		logp := acts[len(acts)-1]
+		best := 0
+		for i, v := range logp {
+			if v > logp[best] {
+				best = i
+			}
+		}
+		cm.Counts[ex.Y][best]++
+	}
+	for i := 0; i < k; i++ {
+		total := 0
+		for _, c := range cm.Counts[i] {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		for j := 0; j < k; j++ {
+			cm.Matrix[i][j] = float64(cm.Counts[i][j]) / float64(total)
+		}
+	}
+	return cm
+}
+
+// AverageAccuracy returns the mean of the diagonal (the paper's headline
+// metric: "averaging all the diagonal entries gives the overall average
+// accuracy").
+func (cm *ConfusionMatrix) AverageAccuracy() float64 {
+	if len(cm.Matrix) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range cm.Matrix {
+		s += cm.Matrix[i][i]
+	}
+	return s / float64(len(cm.Matrix))
+}
+
+// String renders the matrix in the style of Fig 6.
+func (cm *ConfusionMatrix) String() string {
+	out := "true\\pred"
+	for j := range cm.Classes {
+		out += fmt.Sprintf("%6d", j)
+	}
+	out += "\n"
+	for i, row := range cm.Matrix {
+		out += fmt.Sprintf("%8d ", i)
+		for _, v := range row {
+			out += fmt.Sprintf("%6.2f", v)
+		}
+		out += "\n"
+	}
+	out += fmt.Sprintf("average accuracy: %.1f%%\n", 100*cm.AverageAccuracy())
+	return out
+}

@@ -1,0 +1,165 @@
+// Package plot renders traces and histograms as ASCII for the command-line
+// tools and examples — enough visualization to eyeball the paper's figures
+// in a terminal without any graphics dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/maya-defense/maya/internal/signal"
+)
+
+// Line renders a single series as a fixed-size block chart: each column is
+// the mean of a slice of the data, each row a power level. Labels carry the
+// value axis.
+func Line(x []float64, cols, rows int) string {
+	if len(x) == 0 || cols <= 0 || rows <= 0 {
+		return ""
+	}
+	if cols > len(x) {
+		cols = len(x)
+	}
+	vals := make([]float64, cols)
+	for c := 0; c < cols; c++ {
+		lo := c * len(x) / cols
+		hi := (c + 1) * len(x) / cols
+		if hi <= lo {
+			hi = lo + 1
+		}
+		vals[c] = signal.Mean(x[lo:hi])
+	}
+	minV, maxV := vals[0], vals[0]
+	for _, v := range vals {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	var b strings.Builder
+	for r := rows; r >= 1; r-- {
+		thresh := minV + (maxV-minV)*float64(r-1)/float64(rows)
+		for _, v := range vals {
+			if v >= thresh {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		switch r {
+		case rows:
+			fmt.Fprintf(&b, " %.1f", maxV)
+		case 1:
+			fmt.Fprintf(&b, " %.1f", minV)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Overlay renders two series on the same scale, marking where only the
+// first is high ('1'), only the second ('2'), both ('#'), or neither (' ').
+// Used to compare measured power against the mask target.
+func Overlay(a, b []float64, cols, rows int) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 || cols <= 0 || rows <= 0 {
+		return ""
+	}
+	if cols > n {
+		cols = n
+	}
+	da := downsample(a[:n], cols)
+	db := downsample(b[:n], cols)
+	minV, maxV := da[0], da[0]
+	for i := range da {
+		minV = math.Min(minV, math.Min(da[i], db[i]))
+		maxV = math.Max(maxV, math.Max(da[i], db[i]))
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	var sb strings.Builder
+	for r := rows; r >= 1; r-- {
+		thresh := minV + (maxV-minV)*float64(r-1)/float64(rows)
+		for i := 0; i < cols; i++ {
+			ha := da[i] >= thresh
+			hb := db[i] >= thresh
+			switch {
+			case ha && hb:
+				sb.WriteByte('#')
+			case ha:
+				sb.WriteByte('1')
+			case hb:
+				sb.WriteByte('2')
+			default:
+				sb.WriteByte(' ')
+			}
+		}
+		switch r {
+		case rows:
+			fmt.Fprintf(&sb, " %.1f", maxV)
+		case 1:
+			fmt.Fprintf(&sb, " %.1f", minV)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Histogram renders the distribution of x over the given number of bins as
+// horizontal bars with counts.
+func Histogram(x []float64, bins, width int) string {
+	if len(x) == 0 || bins <= 0 || width <= 0 {
+		return ""
+	}
+	minV, maxV := x[0], x[0]
+	for _, v := range x {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range x {
+		i := int(float64(bins) * (v - minV) / (maxV - minV))
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		lo := minV + (maxV-minV)*float64(i)/float64(bins)
+		bar := 0
+		if peak > 0 {
+			bar = c * width / peak
+		}
+		fmt.Fprintf(&b, "%8.2f |%s %d\n", lo, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+func downsample(x []float64, cols int) []float64 {
+	vals := make([]float64, cols)
+	for c := 0; c < cols; c++ {
+		lo := c * len(x) / cols
+		hi := (c + 1) * len(x) / cols
+		if hi <= lo {
+			hi = lo + 1
+		}
+		vals[c] = signal.Mean(x[lo:hi])
+	}
+	return vals
+}

@@ -1,0 +1,79 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineBasicShape(t *testing.T) {
+	x := []float64{1, 1, 1, 10, 10, 10}
+	out := Line(x, 6, 4)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rows=%d", len(lines))
+	}
+	// Top row: only the high half marked.
+	if !strings.HasPrefix(lines[0], "   ###") {
+		t.Fatalf("top row %q", lines[0])
+	}
+	// Bottom row: everything marked.
+	if !strings.HasPrefix(lines[3], "######") {
+		t.Fatalf("bottom row %q", lines[3])
+	}
+	if !strings.Contains(lines[0], "10.0") || !strings.Contains(lines[3], "1.0") {
+		t.Fatalf("axis labels missing: %q / %q", lines[0], lines[3])
+	}
+}
+
+func TestLineEdgeCases(t *testing.T) {
+	if Line(nil, 10, 5) != "" {
+		t.Fatal("nil input should render empty")
+	}
+	if Line([]float64{1}, 0, 5) != "" {
+		t.Fatal("zero cols should render empty")
+	}
+	// Constant input must not divide by zero.
+	out := Line([]float64{5, 5, 5}, 3, 2)
+	if out == "" {
+		t.Fatal("constant input should still render")
+	}
+}
+
+func TestOverlayMarksSeries(t *testing.T) {
+	a := []float64{10, 10, 0, 0}
+	b := []float64{0, 0, 10, 10}
+	out := Overlay(a, b, 4, 2)
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Fatalf("overlay missing markers:\n%s", out)
+	}
+	// Identical series mark '#' (never '1'/'2') in the plot body; inspect
+	// only the first 4 columns of each row — labels follow.
+	same := Overlay(a, a, 4, 2)
+	for _, row := range strings.Split(strings.TrimRight(same, "\n"), "\n") {
+		body := row
+		if len(body) > 4 {
+			body = body[:4]
+		}
+		if strings.ContainsAny(body, "12") {
+			t.Fatalf("identical series should only use '#':\n%s", same)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	x := []float64{1, 1, 1, 1, 9}
+	out := Histogram(x, 2, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("bins=%d", len(lines))
+	}
+	if !strings.Contains(lines[0], "##########") {
+		t.Fatalf("dominant bin not full width: %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[0], "4") || !strings.HasSuffix(lines[1], "1") {
+		t.Fatalf("counts wrong: %v", lines)
+	}
+	if Histogram(nil, 4, 10) != "" {
+		t.Fatal("empty histogram should render empty")
+	}
+}

@@ -1,0 +1,173 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams. Every stochastic component in this repository (mask generators,
+// workload phase jitter, sensor noise, attacker data splits) draws from its
+// own named stream so that experiments are reproducible run-to-run while
+// streams remain statistically independent of each other.
+//
+// The paper's security argument (§IV, "Why Maya works") requires that an
+// attacker cannot reproduce the defender's random numbers; a per-deployment
+// seed plays the role of that secret. The generator is xoshiro256**, seeded
+// through SplitMix64 as its authors recommend.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Stream is a deterministic random number stream. It is NOT safe for
+// concurrent use; split independent streams per goroutine instead.
+type Stream struct {
+	s [4]uint64
+	// Cached second normal variate from the Box-Muller transform.
+	haveGauss bool
+	gauss     float64
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a stream seeded from the given seed.
+func New(seed uint64) *Stream {
+	st := &Stream{}
+	sm := seed
+	for i := range st.s {
+		st.s[i] = splitmix64(&sm)
+	}
+	// xoshiro misbehaves on the all-zero state; SplitMix64 cannot produce
+	// four zero outputs in a row, but guard anyway.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 1
+	}
+	return st
+}
+
+// NewNamed returns a stream derived from a base seed and a name, so that
+// components can own independent streams ("mask", "sensor-noise", ...)
+// without coordinating offsets.
+func NewNamed(seed uint64, name string) *Stream {
+	h := seed
+	for _, b := range []byte(name) {
+		h ^= uint64(b)
+		h *= 0x100000001b3 // FNV-1a prime, then mixed by splitmix below
+	}
+	return New(splitmix64(&h))
+}
+
+// Split returns a new stream whose future outputs are independent of the
+// receiver's. The receiver advances by one draw.
+func (r *Stream) Split() *Stream {
+	s := r.Uint64()
+	return New(s)
+}
+
+// Uint64 returns the next 64 random bits (xoshiro256**).
+func (r *Stream) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := bits.Mul64(x, bound)
+	if lo < bound {
+		thresh := -bound % bound
+		for lo < thresh {
+			x = r.Uint64()
+			hi, lo = bits.Mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// IntRange returns a uniform int in [lo, hi] inclusive. It panics if hi < lo.
+func (r *Stream) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller; deterministic
+// given the stream state, unlike ziggurat implementations that consume a
+// variable number of uniforms in rare tail cases — determinism per draw
+// count keeps golden tests stable).
+func (r *Stream) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.haveGauss = true
+	return u * f
+}
+
+// Normal returns a normal variate with the given mean and standard deviation.
+func (r *Stream) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomly permutes n elements using the provided swap function.
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bool returns true with probability p.
+func (r *Stream) Bool(p float64) bool {
+	return r.Float64() < p
+}

@@ -1,0 +1,41 @@
+package signal_test
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/maya-defense/maya/internal/signal"
+)
+
+// ExampleSpectrum locates a tone in a sampled signal — the frequency-domain
+// view the paper's masks must fill with artificial peaks.
+func ExampleSpectrum() {
+	const sampleHz = 50.0
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = 12 + 2*math.Sin(2*math.Pi*5*float64(i)/sampleHz)
+	}
+	freqs, mags := signal.Spectrum(x, sampleHz)
+	best := 0
+	for i := range mags {
+		if mags[i] > mags[best] {
+			best = i
+		}
+	}
+	fmt.Printf("peak at %.0f Hz with amplitude %.1f\n", freqs[best], mags[best])
+	// Output: peak at 5 Hz with amplitude 2.0
+}
+
+// ExampleQuantizer shows the attacker's 10-level quantization of §VI-A.
+func ExampleQuantizer() {
+	q := signal.NewQuantizer(5, 25, 10)
+	fmt.Println(q.Level(5), q.Level(14.9), q.Level(25), q.Level(100))
+	// Output: 0 4 9 9
+}
+
+// ExampleBox summarizes a power distribution the way Figs 7/13 do.
+func ExampleBox() {
+	b := signal.Box([]float64{10, 11, 12, 13, 14, 15, 16, 17, 18})
+	fmt.Printf("median %.0f, IQR %.0f\n", b.Median, b.IQR())
+	// Output: median 14, IQR 4
+}

@@ -1,0 +1,258 @@
+// Package signal provides the signal-processing substrate used by both the
+// attacker pipeline and the evaluation harness: FFT and magnitude spectra
+// (the frequency-domain view of masks and power traces, Fig 4), summary
+// statistics (the box plots of Fig 7/13), quantization and one-hot encoding
+// (the MLP input pipeline of §VI-A), resampling (the attacker sampling-rate
+// sweep of Fig 12), and trace averaging/correlation (§VII-B).
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform of x. Power-of-two lengths
+// use an in-place iterative radix-2 Cooley-Tukey; other lengths use
+// Bluestein's chirp-z algorithm so that any trace length is accepted.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n == 0 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		fftRadix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT computes the inverse DFT (normalized by 1/n).
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n == 0 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		fftRadix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// FFTReal transforms a real signal and returns the full complex spectrum.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return FFT(c)
+}
+
+// fftRadix2 performs an in-place iterative radix-2 FFT. inverse selects the
+// conjugate transform (without normalization).
+func fftRadix2(a []complex128, inverse bool) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// expressing it as a convolution evaluated with power-of-two FFTs.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign * i*pi*k^2/n)
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k can overflow for astronomically long traces; mod 2n keeps the
+		// angle exact because exp is 2π-periodic in k²·π/n.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := sign * math.Pi * float64(kk) / float64(n)
+		chirp[k] = cmplx.Exp(complex(0, ang))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	invM := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invM * chirp[k]
+	}
+	return out
+}
+
+// Magnitude returns |X[k]| for each bin of a spectrum.
+func Magnitude(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, c := range spec {
+		out[i] = cmplx.Abs(c)
+	}
+	return out
+}
+
+// Spectrum computes the one-sided magnitude spectrum of a real signal
+// sampled at sampleHz, after removing the DC mean (as the paper's Fig 4
+// does implicitly: the plots show activity structure, not the offset).
+// It returns the frequencies of each bin and the magnitudes, covering
+// [0, sampleHz/2].
+func Spectrum(x []float64, sampleHz float64) (freqs, mags []float64) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	mean := Mean(x)
+	centered := make([]float64, n)
+	for i, v := range x {
+		centered[i] = v - mean
+	}
+	spec := FFTReal(centered)
+	half := n/2 + 1
+	freqs = make([]float64, half)
+	mags = make([]float64, half)
+	for k := 0; k < half; k++ {
+		freqs[k] = float64(k) * sampleHz / float64(n)
+		mags[k] = cmplx.Abs(spec[k]) / float64(n) * 2
+	}
+	if len(mags) > 0 {
+		mags[0] /= 2 // DC bin is not doubled
+	}
+	return freqs, mags
+}
+
+// SpectralSpread measures how widely spectral energy is distributed:
+// it returns the fraction of bins (excluding DC) whose magnitude exceeds
+// 10% of the peak magnitude. Broad-spectrum signals (Gaussian noise) score
+// high; pure tones score near zero. Used to verify Table II's
+// "Spread" column.
+func SpectralSpread(mags []float64) float64 {
+	if len(mags) <= 1 {
+		return 0
+	}
+	m := mags[1:]
+	peak := 0.0
+	for _, v := range m {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak == 0 {
+		return 0
+	}
+	count := 0
+	for _, v := range m {
+		if v > 0.1*peak {
+			count++
+		}
+	}
+	return float64(count) / float64(len(m))
+}
+
+// SpectralFlatness returns the Wiener entropy of a magnitude spectrum
+// (excluding DC): the ratio of the geometric to the arithmetic mean of the
+// power bins. White, spread spectra score near 1; tonal spectra (isolated
+// sinusoid peaks) score near 0. This is the quantitative form of Table II's
+// "Spread" column, evaluated per analysis window as in Fig 4.
+func SpectralFlatness(mags []float64) float64 {
+	if len(mags) <= 1 {
+		return 0
+	}
+	m := mags[1:]
+	const eps = 1e-12
+	logSum, sum, peak := 0.0, 0.0, 0.0
+	for _, v := range m {
+		p := v*v + eps
+		logSum += math.Log(p)
+		sum += p
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak < 1e-9 {
+		return 0 // an (almost) silent spectrum has no meaningful flatness
+	}
+	n := float64(len(m))
+	return math.Exp(logSum/n) / (sum / n)
+}
+
+// SpectralPeaks counts prominent narrow peaks in a magnitude spectrum:
+// bins that are local maxima, exceed 4x the median magnitude, and exceed
+// 25% of the global peak. Sinusoidal masks create such peaks (Table II's
+// "Peaks" column); noise does not.
+func SpectralPeaks(mags []float64) int {
+	if len(mags) < 4 {
+		return 0
+	}
+	m := mags[1:] // skip DC
+	med := Quantile(m, 0.5)
+	peak := 0.0
+	for _, v := range m {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak < 1e-9 {
+		return 0 // numerical residue on a silent spectrum is not a peak
+	}
+	count := 0
+	for i := 1; i < len(m)-1; i++ {
+		if m[i] > m[i-1] && m[i] >= m[i+1] && m[i] > 4*med && m[i] > 0.25*peak {
+			count++
+		}
+	}
+	return count
+}

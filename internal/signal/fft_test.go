@@ -1,0 +1,177 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"github.com/maya-defense/maya/internal/rng"
+)
+
+// naiveDFT is the O(n²) reference transform.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func complexClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFFTMatchesNaivePow2(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		if !complexClose(FFT(x), naiveDFT(x), 1e-8*float64(n)) {
+			t.Fatalf("FFT mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveNonPow2(t *testing.T) {
+	r := rng.New(2)
+	for _, n := range []int{3, 5, 6, 7, 12, 100, 750} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		if !complexClose(FFT(x), naiveDFT(x), 1e-7*float64(n)) {
+			t.Fatalf("Bluestein FFT mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	f := func(seed uint64, ln uint8) bool {
+		n := int(ln)%200 + 1
+		r := rng.New(seed)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		y := IFFT(FFT(x))
+		return complexClose(x, y, 1e-8*float64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	r := rng.New(3)
+	n := 128
+	x := make([]complex128, n)
+	y := make([]complex128, n)
+	sum := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), 0)
+		y[i] = complex(r.NormFloat64(), 0)
+		sum[i] = x[i] + y[i]
+	}
+	fx, fy, fs := FFT(x), FFT(y), FFT(sum)
+	for i := range fs {
+		if cmplx.Abs(fs[i]-(fx[i]+fy[i])) > 1e-9 {
+			t.Fatalf("linearity violated at bin %d", i)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	r := rng.New(4)
+	n := 512
+	x := make([]float64, n)
+	var timeEnergy float64
+	for i := range x {
+		x[i] = r.NormFloat64()
+		timeEnergy += x[i] * x[i]
+	}
+	spec := FFTReal(x)
+	var freqEnergy float64
+	for _, c := range spec {
+		freqEnergy += real(c)*real(c) + imag(c)*imag(c)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-6*timeEnergy {
+		t.Fatalf("Parseval violated: time=%g freq=%g", timeEnergy, freqEnergy)
+	}
+}
+
+func TestSpectrumSinusoidPeak(t *testing.T) {
+	// A pure 5 Hz tone sampled at 50 Hz for 10 s must put its energy in the
+	// bin at 5 Hz.
+	sampleHz := 50.0
+	n := 500
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 10 + 3*math.Sin(2*math.Pi*5*float64(i)/sampleHz)
+	}
+	freqs, mags := Spectrum(x, sampleHz)
+	best := 0
+	for i := range mags {
+		if mags[i] > mags[best] {
+			best = i
+		}
+	}
+	if math.Abs(freqs[best]-5) > 0.2 {
+		t.Fatalf("peak at %g Hz, want 5 Hz", freqs[best])
+	}
+	if math.Abs(mags[best]-3) > 0.1 {
+		t.Fatalf("peak magnitude %g, want ~3 (amplitude)", mags[best])
+	}
+}
+
+func TestSpectralSpreadAndPeaks(t *testing.T) {
+	r := rng.New(5)
+	n := 1000
+	sampleHz := 50.0
+	// White noise: high spread, no strong narrow peaks.
+	noise := make([]float64, n)
+	for i := range noise {
+		noise[i] = r.NormFloat64()
+	}
+	_, nm := Spectrum(noise, sampleHz)
+	// Pure tone: low spread, at least one peak.
+	tone := make([]float64, n)
+	for i := range tone {
+		tone[i] = math.Sin(2 * math.Pi * 8 * float64(i) / sampleHz)
+	}
+	_, tm := Spectrum(tone, sampleHz)
+	if SpectralSpread(nm) < 5*SpectralSpread(tm) {
+		t.Fatalf("noise spread %g should dwarf tone spread %g", SpectralSpread(nm), SpectralSpread(tm))
+	}
+	if SpectralPeaks(tm) < 1 {
+		t.Fatal("tone should register a spectral peak")
+	}
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	if got := FFT(nil); len(got) != 0 {
+		t.Fatal("FFT(nil) should be empty")
+	}
+	one := []complex128{complex(3, 1)}
+	got := FFT(one)
+	if len(got) != 1 || got[0] != one[0] {
+		t.Fatalf("FFT of singleton: %v", got)
+	}
+}

@@ -1,0 +1,143 @@
+package signal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/maya-defense/maya/internal/rng"
+)
+
+func TestMeanVariance(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(x) != 5 {
+		t.Fatalf("mean=%g", Mean(x))
+	}
+	if Variance(x) != 4 {
+		t.Fatalf("var=%g", Variance(x))
+	}
+	if StdDev(x) != 2 {
+		t.Fatalf("std=%g", StdDev(x))
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty-input stats should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(x, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%g)=%g want %g", c.q, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Fatalf("interp quantile=%g", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	x := []float64{3, 1, 2}
+	Quantile(x, 0.5)
+	if x[0] != 3 || x[1] != 1 || x[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	// Data with one obvious high outlier.
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100}
+	b := Box(x)
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("outliers=%v", b.Outliers)
+	}
+	if b.Max != 8 {
+		t.Fatalf("whisker max=%g want 8", b.Max)
+	}
+	if b.Median != 5 {
+		t.Fatalf("median=%g", b.Median)
+	}
+	if b.Q1 >= b.Median || b.Median >= b.Q3 {
+		t.Fatalf("quartile ordering broken: %+v", b)
+	}
+}
+
+func TestBoxOrderingProperty(t *testing.T) {
+	f := func(seed uint64, ln uint8) bool {
+		n := int(ln)%50 + 4
+		r := rng.New(seed)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Normal(10, 3)
+		}
+		b := Box(x)
+		// Quartiles are always ordered; whiskers are ordered and stay
+		// inside the outlier fences. (With tiny samples the lower whisker
+		// can exceed Q1 when more than a quarter of the points are flagged
+		// as outliers, so Min <= Q1 is deliberately not asserted.)
+		loFence := b.Q1 - 1.5*b.IQR()
+		hiFence := b.Q3 + 1.5*b.IQR()
+		return b.Q1 <= b.Median && b.Median <= b.Q3 &&
+			b.Min <= b.Max && b.Min >= loFence-1e-9 && b.Max <= hiFence+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	if got := Pearson(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation got %g", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(x, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation got %g", got)
+	}
+	constant := []float64{5, 5, 5, 5}
+	if got := Pearson(x, constant); got != 0 {
+		t.Fatalf("constant series correlation got %g", got)
+	}
+}
+
+func TestCrossCorrelationPeakFindsShiftedCopy(t *testing.T) {
+	r := rng.New(6)
+	n := 300
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	// y is x delayed by 7 samples.
+	y := make([]float64, n)
+	copy(y[7:], x[:n-7])
+	if got := CrossCorrelationPeak(x, y, 10); got < 0.9 {
+		t.Fatalf("shifted copy not detected: peak=%g", got)
+	}
+	// Independent noise should correlate weakly.
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = r.NormFloat64()
+	}
+	if got := CrossCorrelationPeak(x, z, 10); got > 0.4 {
+		t.Fatalf("independent noise peak too high: %g", got)
+	}
+}
+
+func TestTrackingMetrics(t *testing.T) {
+	x := []float64{1, 2, 3}
+	tgt := []float64{1, 1, 1}
+	if got := MeanAbsDeviation(x, tgt); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MAD=%g", got)
+	}
+	if got := RMSE(x, tgt); math.Abs(got-math.Sqrt(5.0/3.0)) > 1e-12 {
+		t.Fatalf("RMSE=%g", got)
+	}
+}

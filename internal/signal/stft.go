@@ -1,0 +1,93 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spectrogram is a short-time Fourier magnitude spectrum: Mag[t][k] is the
+// magnitude of frequency bin k in frame t. Attackers use time-frequency
+// views to find "information-carrying patterns in the signal, like its
+// phase behavior and peak locations over time, and its frequency spectrum"
+// (§II-A2); the defense's masks must disturb both axes.
+type Spectrogram struct {
+	// FrameHz is the frame rate (frames per second of signal).
+	FrameHz float64
+	// BinHz is the frequency resolution.
+	BinHz float64
+	Mag   [][]float64
+}
+
+// STFT computes a spectrogram with a Hann window of the given length and
+// hop. The input is mean-removed per frame so DC offsets do not mask
+// structure.
+func STFT(x []float64, sampleHz float64, window, hop int) *Spectrogram {
+	if window <= 0 || hop <= 0 {
+		panic(fmt.Sprintf("signal: STFT window %d / hop %d must be positive", window, hop))
+	}
+	if sampleHz <= 0 {
+		panic("signal: STFT needs a positive sample rate")
+	}
+	hann := make([]float64, window)
+	for i := range hann {
+		hann[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(window-1)))
+	}
+	sg := &Spectrogram{
+		FrameHz: sampleHz / float64(hop),
+		BinHz:   sampleHz / float64(window),
+	}
+	buf := make([]float64, window)
+	for start := 0; start+window <= len(x); start += hop {
+		frame := x[start : start+window]
+		m := Mean(frame)
+		for i := range buf {
+			buf[i] = (frame[i] - m) * hann[i]
+		}
+		spec := FFTReal(buf)
+		half := window/2 + 1
+		mags := make([]float64, half)
+		for k := 0; k < half; k++ {
+			mags[k] = math.Hypot(real(spec[k]), imag(spec[k])) / float64(window) * 2
+		}
+		sg.Mag = append(sg.Mag, mags)
+	}
+	return sg
+}
+
+// Frames returns the number of time frames.
+func (s *Spectrogram) Frames() int { return len(s.Mag) }
+
+// Bins returns the number of frequency bins per frame.
+func (s *Spectrogram) Bins() int {
+	if len(s.Mag) == 0 {
+		return 0
+	}
+	return len(s.Mag[0])
+}
+
+// BandEnergy returns the per-frame energy in [loHz, hiHz] — a compact
+// time-frequency feature that tracks when activity of a given cadence is
+// present.
+func (s *Spectrogram) BandEnergy(loHz, hiHz float64) []float64 {
+	out := make([]float64, s.Frames())
+	for t, frame := range s.Mag {
+		e := 0.0
+		for k, v := range frame {
+			f := float64(k) * s.BinHz
+			if f >= loHz && f <= hiHz {
+				e += v * v
+			}
+		}
+		out[t] = e
+	}
+	return out
+}
+
+// Flatten concatenates the spectrogram row-major into a feature vector.
+func (s *Spectrogram) Flatten() []float64 {
+	out := make([]float64, 0, s.Frames()*s.Bins())
+	for _, frame := range s.Mag {
+		out = append(out, frame...)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package signal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSTFTShapes(t *testing.T) {
+	x := make([]float64, 1000)
+	sg := STFT(x, 50, 128, 64)
+	// Frames: floor((1000-128)/64)+1 = 14.
+	if sg.Frames() != 14 {
+		t.Fatalf("frames=%d", sg.Frames())
+	}
+	if sg.Bins() != 65 {
+		t.Fatalf("bins=%d", sg.Bins())
+	}
+	if math.Abs(sg.BinHz-50.0/128) > 1e-12 {
+		t.Fatalf("binHz=%g", sg.BinHz)
+	}
+	if len(sg.Flatten()) != 14*65 {
+		t.Fatalf("flatten len=%d", len(sg.Flatten()))
+	}
+}
+
+func TestSTFTLocalizesTone(t *testing.T) {
+	// A 5 Hz tone present only in the second half of the signal must show
+	// band energy only in the later frames.
+	sampleHz := 50.0
+	n := 2000
+	x := make([]float64, n)
+	for i := n / 2; i < n; i++ {
+		x[i] = 3 * math.Sin(2*math.Pi*5*float64(i)/sampleHz)
+	}
+	sg := STFT(x, sampleHz, 128, 64)
+	band := sg.BandEnergy(4, 6)
+	half := len(band) / 2
+	var early, late float64
+	for i := 0; i < half-1; i++ { // leave a frame of slack at the boundary
+		early += band[i]
+	}
+	for i := half + 1; i < len(band); i++ {
+		late += band[i]
+	}
+	if late < 50*math.Max(early, 1e-12) {
+		t.Fatalf("tone not localized: early=%g late=%g", early, late)
+	}
+}
+
+func TestSTFTToneFrequencyBin(t *testing.T) {
+	sampleHz := 50.0
+	n := 1024
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 10 * float64(i) / sampleHz)
+	}
+	sg := STFT(x, sampleHz, 256, 128)
+	// Peak bin of the middle frame should be at ~10 Hz.
+	frame := sg.Mag[sg.Frames()/2]
+	best := 0
+	for k, v := range frame {
+		if v > frame[best] {
+			best = k
+		}
+	}
+	if f := float64(best) * sg.BinHz; math.Abs(f-10) > 0.5 {
+		t.Fatalf("peak at %g Hz want 10", f)
+	}
+}
+
+func TestSTFTPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { STFT(nil, 50, 0, 10) },
+		func() { STFT(nil, 50, 10, 0) },
+		func() { STFT(nil, 0, 10, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

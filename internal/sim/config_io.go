@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the machine configuration, so users can start from a
+// preset, tune coefficients toward their own hardware measurements, and
+// load the result into the tools with mayactl's -config flag.
+func (c Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(c)
+}
+
+// ReadConfigJSON parses and validates a machine configuration.
+func ReadConfigJSON(r io.Reader) (Config, error) {
+	// Start from sane defaults for fields a hand-written file may omit.
+	c := Config{
+		TickSeconds:     1e-3,
+		SensorNoiseFrac: 0.01,
+		RAPLQuantumJ:    15.3e-6,
+		PSUEfficiency:   0.87,
+		AmbientC:        24,
+		ThermalRes:      0.8,
+		ThermalTau:      8,
+		TauDVFS:         0.002,
+		TauIdle:         0.006,
+		TauBalloon:      0.010,
+		GopsPerCoreGHz:  0.5,
+	}
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("sim: config decode: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	if c.VMax <= c.VMin || c.VMin <= 0 {
+		return Config{}, fmt.Errorf("sim: %s voltage table invalid [%g, %g]", c.Name, c.VMin, c.VMax)
+	}
+	return c, nil
+}

@@ -1,0 +1,52 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+// Example runs one simulated second of an application on the Sys1 machine
+// and reads its power through the RAPL sensor, the basic loop every
+// higher-level component builds on.
+func Example() {
+	cfg := sim.Sys1()
+	m := sim.NewMachine(cfg, 42)
+	w := workload.NewApp("raytrace")
+	w.Reset(1)
+	sensor := sim.NewRAPLSensor(m)
+
+	for tick := 0; tick < 1000; tick++ {
+		m.Step(w)
+	}
+	p := sensor.ReadW()
+	fmt.Println("power is positive:", p > 0)
+	fmt.Println("below TDP:", p < cfg.TDP)
+	fmt.Printf("machine time: %.1f s\n", m.Now())
+	// Output:
+	// power is positive: true
+	// below TDP: true
+	// machine time: 1.0 s
+}
+
+// ExampleRun shows the runner driving a defense policy: here the trivial
+// baseline policy, recording both the defender's 20 ms samples and an
+// attacker sampling at 10 ms.
+func ExampleRun() {
+	cfg := sim.Sys1()
+	m := sim.NewMachine(cfg, 7)
+	w := workload.NewApp("vips").Scale(0.05)
+	w.Reset(2)
+	attacker := &sim.Sampler{Sensor: sim.NewRAPLSensor(m), PeriodTicks: 10}
+	res := sim.Run(m, w, sim.NewBaselinePolicy(cfg), sim.RunSpec{
+		ControlPeriodTicks: 20,
+		MaxTicks:           2000,
+		Samplers:           []*sim.Sampler{attacker},
+	})
+	fmt.Println("defense samples:", len(res.DefenseSamples))
+	fmt.Println("attacker samples:", len(attacker.Samples))
+	// Output:
+	// defense samples: 100
+	// attacker samples: 200
+}

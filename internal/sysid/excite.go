@@ -1,0 +1,107 @@
+package sysid
+
+import (
+	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+// ExcitationLog is an input/output log collected under random-step
+// excitation, in the normalized input space the controller will use.
+type ExcitationLog struct {
+	Y []float64   // measured power per control period (watts)
+	U [][]float64 // U[j][t]: normalized input j commanded at period t
+}
+
+// Append concatenates another log (separate training runs).
+func (l *ExcitationLog) Append(o ExcitationLog) {
+	l.Y = append(l.Y, o.Y...)
+	if l.U == nil {
+		l.U = make([][]float64, len(o.U))
+	}
+	for j := range o.U {
+		l.U[j] = append(l.U[j], o.U[j]...)
+	}
+}
+
+// excitePolicy drives the machine with persistently exciting random input
+// steps: every input is re-drawn uniformly and held for a random number of
+// control periods, mirroring the paper's identification experiments
+// ("we run a training set of applications ... change the system inputs").
+type excitePolicy struct {
+	knobs interface {
+		FromNorms([3]float64) (float64, float64, float64)
+	}
+	r       *rng.Stream
+	holdLo  int
+	holdHi  int
+	holdFor int
+	cur     [3]float64
+	history [][3]float64
+}
+
+func (p *excitePolicy) Decide(step int, powerW float64) sim.Inputs {
+	if p.holdFor <= 0 {
+		for i := range p.cur {
+			p.cur[i] = p.r.Float64()
+		}
+		p.holdFor = p.r.IntRange(p.holdLo, p.holdHi)
+	}
+	p.holdFor--
+	p.history = append(p.history, p.cur)
+	d, idle, b := p.knobs.FromNorms(p.cur)
+	return sim.Inputs{FreqGHz: d, Idle: idle, Balloon: b}
+}
+
+// CollectExcitation runs each training workload on a fresh machine with
+// random-step input excitation and returns the merged log. periodTicks is
+// the control period (20 = 20 ms); maxTicks bounds each run.
+func CollectExcitation(cfg sim.Config, training []workload.Workload, seed uint64, periodTicks, maxTicks int) ExcitationLog {
+	var log ExcitationLog
+	log.U = make([][]float64, 3)
+	for i, w := range training {
+		m := sim.NewMachine(cfg, seed+uint64(i)*101)
+		w.Reset(seed + uint64(i))
+		pol := &excitePolicy{
+			knobs:  cfg.Knobs(),
+			r:      rng.NewNamed(seed+uint64(i), "sysid/excite"),
+			holdLo: 3, holdHi: 15,
+		}
+		res := sim.Run(m, w, pol, sim.RunSpec{
+			ControlPeriodTicks: periodTicks,
+			MaxTicks:           maxTicks,
+			StopOnFinish:       true,
+		})
+		// Alignment with the runtime loop: after reading y(T) the controller
+		// emits u, which is in force during period T+1 and shapes y(T+1).
+		// The model's convention "u(T−1) affects y(T)" therefore pairs
+		// Y[t] = DefenseSamples[t] with U[t] = history[t+1] (the input
+		// chosen right after sample t was read).
+		n := len(res.DefenseSamples)
+		if n > len(pol.history)-1 {
+			n = len(pol.history) - 1
+		}
+		for t := 0; t < n; t++ {
+			log.Y = append(log.Y, res.DefenseSamples[t])
+			for j := 0; j < 3; j++ {
+				log.U[j] = append(log.U[j], pol.history[t+1][j])
+			}
+		}
+	}
+	return log
+}
+
+// TrainingSet returns the identification workloads. The paper uses
+// swaptions, ferret (PARSEC) and barnes, raytrace (SPLASH-2x); of those
+// only raytrace has a synthetic counterpart here, so the set substitutes
+// three other diverse programs (compute-bound, memory-bound, and
+// phase-alternating) to span the same behaviour range. Training and
+// evaluation sets still differ in composition, as in the paper.
+func TrainingSet() []workload.Workload {
+	return []workload.Workload{
+		workload.NewApp("raytrace").Scale(0.3),
+		workload.NewApp("canneal").Scale(0.3),
+		workload.NewApp("bodytrack").Scale(0.3),
+		workload.NewApp("vips").Scale(0.3),
+	}
+}

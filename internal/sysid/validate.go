@@ -1,0 +1,116 @@
+package sysid
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/maya-defense/maya/internal/signal"
+)
+
+// Validation reports how well a fitted model explains data it was not
+// trained on — the checks Ljung's methodology prescribes before a model is
+// trusted for control design.
+type Validation struct {
+	// R2 is the one-step coefficient of determination on the data.
+	R2 float64
+	// ResidualMean should be ≈ 0 (no systematic bias).
+	ResidualMean float64
+	// LjungBoxQ is the Ljung-Box portmanteau statistic over Lags residual
+	// autocorrelations; under the whiteness hypothesis it is χ²(Lags).
+	LjungBoxQ float64
+	// Lags used for the statistic.
+	Lags int
+	// WhitenessOK reports Q below the χ² 95th percentile: residuals are
+	// plausibly white, i.e. the model captured the predictable dynamics.
+	WhitenessOK bool
+	// InputCorrelation is the largest |cross-correlation| between residuals
+	// and any input over ±Lags; large values mean un-modeled input effects.
+	InputCorrelation float64
+}
+
+// chi2_95 holds 95th percentiles of the χ² distribution for 1..30 degrees
+// of freedom (Abramowitz & Stegun); enough for the lag counts used here.
+var chi2_95 = []float64{
+	3.841, 5.991, 7.815, 9.488, 11.070, 12.592, 14.067, 15.507, 16.919,
+	18.307, 19.675, 21.026, 22.362, 23.685, 24.996, 26.296, 27.587, 28.869,
+	30.144, 31.410, 32.671, 33.924, 35.172, 36.415, 37.652, 38.885, 40.113,
+	41.337, 42.557, 43.773,
+}
+
+// Validate scores the model's one-step predictions on a held-out log.
+func Validate(m *Model, y []float64, u [][]float64, lags int) (*Validation, error) {
+	if len(u) != m.NumInputs {
+		return nil, errors.New("sysid: input count mismatch")
+	}
+	n := len(y)
+	if n < m.Order+lags+10 {
+		return nil, ErrTooShort
+	}
+	if lags < 1 || lags > len(chi2_95) {
+		return nil, fmt.Errorf("sysid: lags must be in [1,%d]", len(chi2_95))
+	}
+
+	yHist := make([]float64, m.Order)
+	uHist := make([][]float64, m.NumInputs)
+	for j := range uHist {
+		uHist[j] = make([]float64, m.Order)
+	}
+	var residuals []float64
+	var sse, sst float64
+	for t := m.Order; t < n; t++ {
+		for i := 0; i < m.Order; i++ {
+			yHist[i] = y[t-1-i]
+			for j := 0; j < m.NumInputs; j++ {
+				uHist[j][i] = u[j][t-1-i]
+			}
+		}
+		p := m.Predict(yHist, uHist)
+		r := y[t] - p
+		residuals = append(residuals, r)
+		sse += r * r
+		d := y[t] - m.YMean
+		sst += d * d
+	}
+	v := &Validation{Lags: lags}
+	if sst > 0 {
+		v.R2 = 1 - sse/sst
+	}
+	v.ResidualMean = signal.Mean(residuals)
+
+	// Ljung-Box on the residual autocorrelations.
+	nr := float64(len(residuals))
+	rbar := v.ResidualMean
+	den := 0.0
+	for _, r := range residuals {
+		den += (r - rbar) * (r - rbar)
+	}
+	q := 0.0
+	for k := 1; k <= lags; k++ {
+		num := 0.0
+		for t := k; t < len(residuals); t++ {
+			num += (residuals[t] - rbar) * (residuals[t-k] - rbar)
+		}
+		rho := 0.0
+		if den > 0 {
+			rho = num / den
+		}
+		q += rho * rho / (nr - float64(k))
+	}
+	v.LjungBoxQ = nr * (nr + 2) * q
+	v.WhitenessOK = v.LjungBoxQ < chi2_95[lags-1]
+
+	// Residual-input cross correlation.
+	for j := 0; j < m.NumInputs; j++ {
+		c := signal.CrossCorrelationPeak(residuals, u[j][m.Order:], lags)
+		if c > v.InputCorrelation {
+			v.InputCorrelation = c
+		}
+	}
+	return v, nil
+}
+
+// String renders the validation summary.
+func (v *Validation) String() string {
+	return fmt.Sprintf("sysid.Validation{R²=%.3f, residual mean=%.3g, Ljung-Box Q=%.1f (%d lags, white=%v), input corr=%.2f}",
+		v.R2, v.ResidualMean, v.LjungBoxQ, v.Lags, v.WhitenessOK, v.InputCorrelation)
+}

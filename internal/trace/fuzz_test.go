@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the parser and that
+// anything it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("0,a,20,1.5,2.5\n")
+	f.Add("1,b,50,9\n0,a,20,1,2,3\n")
+	f.Add("zz\n")
+	f.Add("0,a\n")
+	f.Add("")
+	f.Add("0,a,20,NaN\n")
+	classNames := []string{"a", "b"}
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(strings.NewReader(input), classNames)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		again, err := ReadCSV(&buf, classNames)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(again.Traces) != len(ds.Traces) {
+			t.Fatalf("round trip changed trace count %d -> %d", len(ds.Traces), len(again.Traces))
+		}
+	})
+}
+
+// FuzzReadJSON exercises the JSON path the same way.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"class_names":["a"],"traces":[{"Label":0,"Name":"a","PeriodMS":20,"Samples":[1,2]}]}`)
+	f.Add(`{}`)
+	f.Add(`[`)
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+// Package trace defines the labeled power-trace containers shared by the
+// defense harness (which produces traces) and the attack pipeline (which
+// consumes them), plus CSV/JSON import-export so experiments can be
+// inspected and regenerated offline.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Trace is one labeled power recording.
+type Trace struct {
+	// Label is the class index (application / video / webpage identity).
+	Label int
+	// Name is the human-readable class name.
+	Name string
+	// PeriodMS is the sampling interval in milliseconds.
+	PeriodMS float64
+	// Samples holds the power readings in watts.
+	Samples []float64
+}
+
+// Dataset is a collection of labeled traces with class metadata.
+type Dataset struct {
+	// ClassNames maps label index to name.
+	ClassNames []string
+	Traces     []Trace
+}
+
+// NumClasses returns the number of classes.
+func (d *Dataset) NumClasses() int { return len(d.ClassNames) }
+
+// Add appends a trace with the given label; the label must be a valid class.
+func (d *Dataset) Add(label int, periodMS float64, samples []float64) {
+	if label < 0 || label >= len(d.ClassNames) {
+		panic(fmt.Sprintf("trace: label %d out of range (%d classes)", label, len(d.ClassNames)))
+	}
+	d.Traces = append(d.Traces, Trace{
+		Label: label, Name: d.ClassNames[label], PeriodMS: periodMS, Samples: samples,
+	})
+}
+
+// ByLabel groups trace indices by label.
+func (d *Dataset) ByLabel() map[int][]int {
+	out := make(map[int][]int)
+	for i, tr := range d.Traces {
+		out[tr.Label] = append(out[tr.Label], i)
+	}
+	return out
+}
+
+// PowerRange returns the global min and max sample values across the
+// dataset, used to configure the attacker's quantizer.
+func (d *Dataset) PowerRange() (lo, hi float64) {
+	first := true
+	for _, tr := range d.Traces {
+		for _, v := range tr.Samples {
+			if first {
+				lo, hi = v, v
+				first = false
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// WriteCSV emits the dataset as rows of label,name,period_ms,s0,s1,...
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, tr := range d.Traces {
+		row := make([]string, 0, len(tr.Samples)+3)
+		row = append(row, strconv.Itoa(tr.Label), tr.Name,
+			strconv.FormatFloat(tr.PeriodMS, 'g', -1, 64))
+		for _, s := range tr.Samples {
+			row = append(row, strconv.FormatFloat(s, 'g', 8, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. classNames supplies the
+// class table (rows carry names too, but the table fixes ordering).
+func ReadCSV(r io.Reader, classNames []string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	d := &Dataset{ClassNames: classNames}
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(row) < 4 {
+			return nil, fmt.Errorf("trace: short row with %d fields", len(row))
+		}
+		label, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad label %q: %w", row[0], err)
+		}
+		if label < 0 || label >= len(classNames) {
+			return nil, fmt.Errorf("trace: label %d out of range", label)
+		}
+		period, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad period %q: %w", row[2], err)
+		}
+		samples := make([]float64, 0, len(row)-3)
+		for _, f := range row[3:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad sample %q: %w", f, err)
+			}
+			samples = append(samples, v)
+		}
+		d.Traces = append(d.Traces, Trace{Label: label, Name: row[1], PeriodMS: period, Samples: samples})
+	}
+	return d, nil
+}
+
+// MarshalJSON / JSON round-trip use the natural struct encoding; a small
+// wrapper keeps the dataset self-describing.
+type jsonDataset struct {
+	ClassNames []string `json:"class_names"`
+	Traces     []Trace  `json:"traces"`
+}
+
+// WriteJSON emits the dataset as a single JSON document.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(jsonDataset{ClassNames: d.ClassNames, Traces: d.Traces})
+}
+
+// ReadJSON parses a dataset written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var jd jsonDataset
+	if err := json.NewDecoder(r).Decode(&jd); err != nil {
+		return nil, err
+	}
+	return &Dataset{ClassNames: jd.ClassNames, Traces: jd.Traces}, nil
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sample() *Dataset {
+	d := &Dataset{ClassNames: []string{"a", "b"}}
+	d.Add(0, 20, []float64{1.5, 2.5, 3.5})
+	d.Add(1, 20, []float64{9, 8})
+	d.Add(0, 20, []float64{4, 5, 6, 7})
+	return d
+}
+
+func TestAddAndByLabel(t *testing.T) {
+	d := sample()
+	if d.NumClasses() != 2 {
+		t.Fatalf("classes=%d", d.NumClasses())
+	}
+	g := d.ByLabel()
+	if len(g[0]) != 2 || len(g[1]) != 1 {
+		t.Fatalf("groups=%v", g)
+	}
+	if d.Traces[0].Name != "a" || d.Traces[1].Name != "b" {
+		t.Fatal("names not assigned from class table")
+	}
+}
+
+func TestAddBadLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sample().Add(5, 20, nil)
+}
+
+func TestPowerRange(t *testing.T) {
+	lo, hi := sample().PowerRange()
+	if lo != 1.5 || hi != 9 {
+		t.Fatalf("range [%g,%g]", lo, hi)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, d.ClassNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Traces) != len(d.Traces) {
+		t.Fatalf("traces=%d", len(got.Traces))
+	}
+	for i, tr := range got.Traces {
+		want := d.Traces[i]
+		if tr.Label != want.Label || tr.Name != want.Name || tr.PeriodMS != want.PeriodMS {
+			t.Fatalf("meta mismatch at %d: %+v vs %+v", i, tr, want)
+		}
+		for j := range tr.Samples {
+			if tr.Samples[j] != want.Samples[j] {
+				t.Fatalf("sample mismatch at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVRejectsBadRows(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("zz,a,20,1\n"), []string{"a"}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("7,a,20,1\n"), []string{"a"}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("0,a\n"), []string{"a"}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("0,a,20,xx\n"), []string{"a"}); err == nil {
+		t.Fatal("bad sample accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClasses() != 2 || len(got.Traces) != 3 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Traces[2].Samples[3] != 7 {
+		t.Fatal("sample values corrupted")
+	}
+}

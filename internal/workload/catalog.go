@@ -1,0 +1,83 @@
+package workload
+
+import "fmt"
+
+// CatalogEntry describes one built-in workload for tooling and help output.
+type CatalogEntry struct {
+	// Name is the identifier the tools accept (e.g. "blackscholes",
+	// "video/tractor", "web/google", "instr/imul").
+	Name string
+	// Suite groups the entry ("parsec/splash", "video", "web", "instr").
+	Suite string
+	// Description summarizes the synthetic program's character.
+	Description string
+	// BaselineSeconds estimates the unscaled runtime on Sys1 at full speed
+	// (work / (cores × Gops-per-core-GHz × Fmax), ignoring phase effects).
+	BaselineSeconds float64
+}
+
+// Catalog lists every built-in workload.
+func Catalog() []CatalogEntry {
+	const sys1Rate = 6 * 0.5 * 2.0 // cores × Gops/core/GHz × Fmax
+	var out []CatalogEntry
+	appDesc := map[string]string{
+		"blackscholes":   "sequential read, one long uniform parallel pricing section, sequential write",
+		"bodytrack":      "frame-structured tracker alternating parallel bursts and sequential updates",
+		"canneal":        "memory-bound simulated annealing with a cooling activity schedule",
+		"freqmine":       "FP-growth mining with ramping parallel phases",
+		"raytrace":       "steady high-activity render with slight per-frame shimmer",
+		"streamcluster":  "periodic memory-bound bursts — the strongest natural FFT peaks",
+		"vips":           "image pipeline with mid-rate tile oscillation",
+		"radiosity":      "irregular task-parallel iterations",
+		"volrend":        "per-frame periodic volume rendering",
+		"water_nsquared": "compute-heavy O(n²) MD with periodic force spikes",
+		"water_spatial":  "lighter spatial-decomposition MD at a faster cadence",
+	}
+	for _, n := range AppNames {
+		p := NewApp(n)
+		out = append(out, CatalogEntry{
+			Name: n, Suite: "parsec/splash",
+			Description:     appDesc[n],
+			BaselineSeconds: p.TotalWork() / sys1Rate,
+		})
+	}
+	vidDesc := map[string]string{
+		"tractor":   "high uniform motion — heavy throughout",
+		"riverbed":  "chaotic water texture — the heaviest, high variance",
+		"wind":      "moderate motion with gusty bursts",
+		"sunflower": "nearly static — light with refresh spikes",
+	}
+	for _, n := range VideoNames {
+		p := NewVideo(n)
+		out = append(out, CatalogEntry{
+			Name: "video/" + n, Suite: "video",
+			Description:     "x264-style encode: " + vidDesc[n],
+			BaselineSeconds: p.TotalWork() / sys1Rate,
+		})
+	}
+	pageDesc := map[string]string{
+		"google":  "light landing page, near-idle steady state",
+		"ted":     "hero video autoplay with frame cadence",
+		"youtube": "heavy video decode, fast segment cadence",
+		"chase":   "scripted banking dashboard with widget timers",
+		"ieee":    "document-heavy page, quiet after the parse",
+		"amazon":  "image-heavy storefront with carousel animation",
+		"paypal":  "moderate page with periodic keepalives",
+	}
+	for _, n := range PageNames {
+		p := NewPage(n)
+		out = append(out, CatalogEntry{
+			Name: "web/" + n, Suite: "web",
+			Description:     "browser visit: " + pageDesc[n],
+			BaselineSeconds: p.TotalWork() / sys1Rate,
+		})
+	}
+	for _, n := range InstrNames {
+		out = append(out, CatalogEntry{
+			Name: "instr/" + n, Suite: "instr",
+			Description:     fmt.Sprintf("tight %s loop on every core (PLATYPUS microbenchmark)", n),
+			BaselineSeconds: 0, // runs until cut off
+		})
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package workload
+
+// Combined runs several workloads concurrently on one machine, as in the
+// paper's Fig 2 ("App 1, App 2" above the OS): thread demands add (the
+// machine caps at its core count), activity and memory-boundedness are
+// thread-weighted averages, and completed work is split proportionally to
+// each member's offered threads. Maya is application-transparent, so it
+// must mask the *mix*, not any single program.
+type Combined struct {
+	name    string
+	members []Workload
+	// lastShare[i] is member i's thread share of the most recent Demand,
+	// used to split Advance's completed work.
+	lastShare []float64
+}
+
+// NewCombined composes workloads. The combined workload finishes when every
+// member has finished.
+func NewCombined(name string, members ...Workload) *Combined {
+	if len(members) == 0 {
+		panic("workload: empty combination")
+	}
+	return &Combined{name: name, members: members, lastShare: make([]float64, len(members))}
+}
+
+// Name implements Workload.
+func (c *Combined) Name() string { return "combined/" + c.name }
+
+// Demand implements Workload.
+func (c *Combined) Demand() Demand {
+	var threads int
+	var act, mem, wsum float64
+	for i, m := range c.members {
+		d := m.Demand()
+		c.lastShare[i] = float64(d.Threads)
+		threads += d.Threads
+		act += float64(d.Threads) * d.Activity
+		mem += float64(d.Threads) * d.MemFrac
+		wsum += float64(d.Threads)
+	}
+	if wsum == 0 {
+		for i := range c.lastShare {
+			c.lastShare[i] = 0
+		}
+		return Demand{}
+	}
+	for i := range c.lastShare {
+		c.lastShare[i] /= wsum
+	}
+	return Demand{Threads: threads, Activity: act / wsum, MemFrac: mem / wsum}
+}
+
+// Advance implements Workload: completed work is divided by thread share.
+func (c *Combined) Advance(work float64) bool {
+	done := true
+	for i, m := range c.members {
+		if m.Done() {
+			continue
+		}
+		if !m.Advance(work * c.lastShare[i]) {
+			done = false
+		}
+	}
+	return done
+}
+
+// Done implements Workload.
+func (c *Combined) Done() bool {
+	for _, m := range c.members {
+		if !m.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalWork implements Workload.
+func (c *Combined) TotalWork() float64 {
+	var t float64
+	for _, m := range c.members {
+		t += m.TotalWork()
+	}
+	return t
+}
+
+// Reset implements Workload.
+func (c *Combined) Reset(seed uint64) {
+	for i, m := range c.members {
+		m.Reset(seed + uint64(i)*1_000_003)
+	}
+}

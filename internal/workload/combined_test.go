@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCombinedDemandAggregates(t *testing.T) {
+	a := NewProgram("a", []Phase{{Name: "x", Work: 100, Threads: 2, Activity: 1.0, MemFrac: 0.0}})
+	b := NewProgram("b", []Phase{{Name: "y", Work: 100, Threads: 2, Activity: 0.5, MemFrac: 0.4}})
+	c := NewCombined("ab", a, b)
+	d := c.Demand()
+	if d.Threads != 4 {
+		t.Fatalf("threads=%d", d.Threads)
+	}
+	if math.Abs(d.Activity-0.75) > 1e-12 {
+		t.Fatalf("activity=%g want 0.75", d.Activity)
+	}
+	if math.Abs(d.MemFrac-0.2) > 1e-12 {
+		t.Fatalf("memfrac=%g want 0.2", d.MemFrac)
+	}
+}
+
+func TestCombinedWorkSplit(t *testing.T) {
+	a := NewProgram("a", []Phase{{Name: "x", Work: 10, Threads: 3, Activity: 0.5}})
+	b := NewProgram("b", []Phase{{Name: "y", Work: 10, Threads: 1, Activity: 0.5}})
+	c := NewCombined("ab", a, b)
+	c.Demand()
+	c.Advance(4) // a gets 3, b gets 1
+	if math.Abs(a.Progress()-0.3) > 1e-9 {
+		t.Fatalf("a progress %g want 0.3", a.Progress())
+	}
+	if math.Abs(b.Progress()-0.1) > 1e-9 {
+		t.Fatalf("b progress %g want 0.1", b.Progress())
+	}
+}
+
+func TestCombinedFinishesWhenAllDo(t *testing.T) {
+	a := NewProgram("a", []Phase{{Name: "x", Work: 2, Threads: 1, Activity: 0.5}})
+	b := NewProgram("b", []Phase{{Name: "y", Work: 10, Threads: 1, Activity: 0.5}})
+	c := NewCombined("ab", a, b)
+	for i := 0; i < 6; i++ {
+		c.Demand()
+		if c.Advance(2) {
+			break
+		}
+	}
+	if !a.Done() || !b.Done() || !c.Done() {
+		t.Fatalf("completion: a=%v b=%v c=%v", a.Done(), b.Done(), c.Done())
+	}
+	// After one member finishes, the survivor receives all the work.
+	if c.TotalWork() != a.TotalWork()+b.TotalWork() {
+		t.Fatal("total work mismatch")
+	}
+}
+
+func TestCombinedResetIndependentSeeds(t *testing.T) {
+	a := NewApp("radiosity")
+	b := NewApp("vips")
+	c := NewCombined("mix", a, b)
+	c.Reset(5)
+	w1 := a.TotalWork()
+	c.Reset(6)
+	w2 := a.TotalWork()
+	if w1 == w2 {
+		t.Fatal("reset seeds not propagated with jitter")
+	}
+}
+
+func TestCombinedEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCombined("none")
+}
