@@ -12,12 +12,16 @@
 package maya_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
 	"github.com/maya-defense/maya/internal/core"
+	"github.com/maya-defense/maya/internal/defense"
 	"github.com/maya-defense/maya/internal/experiments"
 	"github.com/maya-defense/maya/internal/mask"
+	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/runner"
 	"github.com/maya-defense/maya/internal/signal"
 	"github.com/maya-defense/maya/internal/sim"
 	"github.com/maya-defense/maya/internal/workload"
@@ -330,6 +334,49 @@ func BenchmarkAblationController(b *testing.B) {
 		_ = r.FormalRMSE
 	}
 	b.ReportMetric(r.NaiveRMSE/r.FormalRMSE, "naive-over-formal-RMSE")
+}
+
+// ---------------------------------------------------------------------------
+// Parallel runner: serial vs fanned-out trace collection, and the pool's
+// own dispatch overhead.
+
+// benchCollect runs a small Collect sweep at the given worker count.
+func benchCollect(b *testing.B, workers int) {
+	b.Helper()
+	d := benchDesign(b)
+	cfg := sim.Sys1()
+	spec := defense.CollectSpec{
+		Cfg:          cfg,
+		Design:       defense.NewDesign(defense.MayaGS, cfg, d, 20),
+		Classes:      defense.AppClasses(0.15)[:4],
+		RunsPerClass: 4,
+		MaxTicks:     6000,
+		WarmupTicks:  1000,
+		Seed:         1,
+		Workers:      workers,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, _ := defense.Collect(spec)
+		if len(ds.Traces) != 16 {
+			b.Fatalf("collected %d traces", len(ds.Traces))
+		}
+	}
+}
+
+func BenchmarkCollectSerial(b *testing.B)   { benchCollect(b, 1) }
+func BenchmarkCollectParallel(b *testing.B) { benchCollect(b, 0) }
+
+func BenchmarkRunnerDispatch(b *testing.B) {
+	// Pure pool overhead: trivially cheap jobs, so ns/op ≈ per-job cost of
+	// scheduling, stream derivation, and result collection.
+	fn := func(_ context.Context, i int, _ *rng.Stream) (int, error) { return i, nil }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.MapN(context.Background(), runner.Options{}, 64, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,11 @@
 //
 //	attack [-experiment apps|videos|pages] [-defense random|constant|gs]
 //	       [-runs 60] [-seconds 24] [-scale 0.15] [-seed 1]
+//	       [-parallel N] [-folds K]
+//
+// Collection and training fan out across -parallel workers; results are
+// identical for any worker count. With -folds K the MLP is additionally
+// k-fold cross-validated and the per-fold accuracies reported.
 package main
 
 import (
@@ -30,6 +35,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed")
 	epochs := flag.Int("epochs", 60, "MLP training epochs")
 	attacker := flag.String("attacker", "mlp", "classifier: mlp, template, knn")
+	parallel := flag.Int("parallel", 0, "worker count for collection and training (0 = GOMAXPROCS)")
+	folds := flag.Int("folds", 0, "additionally k-fold cross-validate the MLP (0 = off)")
 	flag.Parse()
 
 	var kind defense.Kind
@@ -107,6 +114,7 @@ func main() {
 		AttackPeriodTicks: attPer,
 		Outlet:            outlet,
 		Seed:              *seed,
+		Workers:           *parallel,
 	})
 	log.Printf("collected in %.1fs; training the MLP...", time.Since(start).Seconds())
 
@@ -121,6 +129,18 @@ func main() {
 		fmt.Printf("examples: %d (input dim %d)\n", res.Examples, res.InputDim)
 		fmt.Printf("chance:   %.1f%%\n\n", 100*res.Chance)
 		fmt.Print(res.Confusion.String())
+		if *folds >= 2 {
+			log.Printf("cross-validating across %d folds...", *folds)
+			cv, err := attack.CrossValidate(ds, spec, *folds, *parallel)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n%d-fold CV: %.1f%% ± %.1f%% (folds:", *folds, 100*cv.MeanAccuracy, 100*cv.StdAccuracy)
+			for _, a := range cv.FoldAccuracy {
+				fmt.Printf(" %.1f%%", 100*a)
+			}
+			fmt.Printf(")\n")
+		}
 	case "template":
 		acc, err := attack.RunTemplate(ds, spec)
 		if err != nil {

@@ -5,14 +5,18 @@
 // Usage:
 //
 //	experiments [-scale small|paper] [-run regexp] [-seed N] [-o report.md]
+//	            [-parallel N] [-timeout d] [-timing]
 //
-// With no -run filter it executes the complete suite; each section reports
-// the measured numbers next to the paper's.
+// With no -run filter it executes the complete suite. Experiments run across
+// -parallel workers; the report body is byte-identical for every worker
+// count (and contains no timestamps), so reruns can be diffed. Per-entry
+// wall-clock goes to stderr; -timing appends an accounting section with
+// per-job wall-clock and allocation volume.
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"io"
 	"log"
 	"os"
@@ -20,91 +24,17 @@ import (
 	"time"
 
 	"github.com/maya-defense/maya/internal/experiments"
-	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/runner"
 )
-
-type entry struct {
-	name string
-	run  func(sc experiments.Scale, seed uint64) (experiments.Result, error)
-}
-
-func suite() []entry {
-	return []entry{
-		{"fig3", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.Fig3(sim.Sys1(), sc, seed)
-		}},
-		{"fig4", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			d, err := experiments.DesignFor(sim.Sys1())
-			if err != nil {
-				return nil, err
-			}
-			return experiments.Fig4(d.Band, 50, 6000, seed), nil
-		}},
-		{"table1", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.TableI(sc, seed)
-		}},
-		{"fig6", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.Fig6(sc, seed)
-		}},
-		{"fig7", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.Fig7(sc, seed)
-		}},
-		{"fig8", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.Fig8(sc, seed)
-		}},
-		{"fig9", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.Fig9(sc, seed)
-		}},
-		{"fig10", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.Fig10(sc, seed)
-		}},
-		{"fig11", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.Fig11(sc, seed)
-		}},
-		{"fig12", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.Fig12(sc, seed)
-		}},
-		{"fig13", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.Fig13(sc, seed)
-		}},
-		{"fig14", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.Fig14(sc, seed)
-		}},
-		{"fig15", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.Fig15(sc, seed)
-		}},
-		{"dtw", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.DTWAnalysis(sc, seed)
-		}},
-		{"covert", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.CovertChannel(sc, seed)
-		}},
-		{"thermal", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.Thermal(sc, seed)
-		}},
-		{"toolbox", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.Toolbox(sc, seed)
-		}},
-		{"ablation-masks", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.AblationMasks(sc, seed)
-		}},
-		{"ablation-guardband", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.AblationGuardband(sc, seed)
-		}},
-		{"ablation-nhold", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.AblationNhold(sc, seed)
-		}},
-		{"ablation-actuators", func(sc experiments.Scale, seed uint64) (experiments.Result, error) {
-			return experiments.AblationActuators(sc, seed)
-		}},
-	}
-}
 
 func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
 	runFilter := flag.String("run", "", "regexp selecting experiments (e.g. fig6|fig14)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	out := flag.String("o", "", "write the report to this file (default stdout)")
+	parallel := flag.Int("parallel", 0, "worker count for the suite (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-experiment timeout (0 = none)")
+	timing := flag.Bool("timing", false, "append a per-experiment timing section to the report")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -136,22 +66,30 @@ func main() {
 		w = f
 	}
 
-	fmt.Fprintf(w, "# Maya experiments (scale=%s, seed=%d)\n\n", sc.Name, *seed)
-	fmt.Fprintf(w, "Generated %s by cmd/experiments.\n\n", time.Now().Format(time.RFC3339))
+	entries := experiments.FilterSuite(experiments.Suite(), filter)
+	start := time.Now()
+	outs := experiments.RunSuite(context.Background(), entries, sc, *seed,
+		runner.Options{Workers: *parallel, Timeout: *timeout})
+	failed := 0
+	for _, o := range outs {
+		switch {
+		case o.TimedOut:
+			log.Printf("%s timed out after %s", o.Name, o.Wall.Round(time.Millisecond))
+			failed++
+		case o.Err != nil:
+			log.Printf("%s failed: %v", o.Name, o.Err)
+			failed++
+		default:
+			log.Printf("%s done in %.1fs", o.Name, o.Wall.Seconds())
+		}
+	}
+	log.Printf("suite: %d experiments in %.1fs wall (parallel=%d)",
+		len(outs), time.Since(start).Seconds(), *parallel)
 
-	for _, e := range suite() {
-		if filter != nil && !filter.MatchString(e.name) {
-			continue
-		}
-		start := time.Now()
-		res, err := e.run(sc, *seed)
-		if err != nil {
-			fmt.Fprintf(w, "## %s\n\nERROR: %v\n\n", e.name, err)
-			log.Printf("%s failed: %v", e.name, err)
-			continue
-		}
-		fmt.Fprintf(w, "## %s (%s)\n\n```\n%s```\n\n(%.1f s)\n\n",
-			res.ID(), e.name, res.Render(), time.Since(start).Seconds())
-		log.Printf("%s done in %.1fs", e.name, time.Since(start).Seconds())
+	if err := experiments.WriteReport(w, sc, *seed, outs, *timing); err != nil {
+		log.Fatal(err)
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

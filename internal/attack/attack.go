@@ -15,11 +15,13 @@
 package attack
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"github.com/maya-defense/maya/internal/nn"
 	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/runner"
 	"github.com/maya-defense/maya/internal/signal"
 	"github.com/maya-defense/maya/internal/trace"
 )
@@ -127,15 +129,29 @@ func Run(ds *trace.Dataset, spec Spec) (*Result, error) {
 	}
 	// Train with two random restarts and keep the better network by
 	// validation accuracy: gradient training occasionally collapses on
-	// small one-hot datasets, and a real attacker simply retrains.
+	// small one-hot datasets, and a real attacker simply retrains. The
+	// restarts run in parallel; each derives its own named stream from
+	// (Seed, restart), and the better-network scan below walks restarts in
+	// order with a strict >, so the winner matches the serial loop exactly.
+	type trained struct {
+		m   *nn.MLP
+		val float64
+	}
+	nets, err := runner.MapN(context.Background(), runner.Options{}, 2,
+		func(_ context.Context, restart int, _ *rng.Stream) (trained, error) {
+			rr := rng.NewNamed(spec.Seed+uint64(restart)*7919, "attack/restart")
+			m := nn.NewMLP(rr, sizes...)
+			m.Train(rr, train, val, cfg)
+			return trained{m: m, val: m.Accuracy(val)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var best *nn.MLP
 	bestVal := -1.0
-	for restart := 0; restart < 2; restart++ {
-		rr := rng.NewNamed(spec.Seed+uint64(restart)*7919, "attack/restart")
-		m := nn.NewMLP(rr, sizes...)
-		m.Train(rr, train, val, cfg)
-		if acc := m.Accuracy(val); acc > bestVal {
-			best, bestVal = m, acc
+	for _, tr := range nets {
+		if tr.val > bestVal {
+			best, bestVal = tr.m, tr.val
 		}
 	}
 

@@ -1,9 +1,10 @@
 package defense
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
+	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/runner"
 	"github.com/maya-defense/maya/internal/signal"
 	"github.com/maya-defense/maya/internal/sim"
 	"github.com/maya-defense/maya/internal/trace"
@@ -102,6 +103,10 @@ type CollectSpec struct {
 	// privileged service, so an attacker never observes the controller's
 	// cold start — only the app starting under an already-settled defense.
 	WarmupTicks int
+	// Workers bounds the collection's parallelism (<= 0: GOMAXPROCS).
+	// Results are identical for every worker count: each run's seeds are a
+	// pure function of (Seed, label, run).
+	Workers int
 }
 
 // Collect runs the experiment and returns the attacker's dataset along with
@@ -127,40 +132,19 @@ func Collect(spec CollectSpec) (*trace.Dataset, []RunStats) {
 	}
 	ds := &trace.Dataset{ClassNames: names}
 
-	type job struct{ label, run int }
-	type result struct {
-		label, run int
-		samples    []float64
-		stats      RunStats
-	}
-	jobs := make(chan job)
-	results := make([]result, len(spec.Classes)*spec.RunsPerClass)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				res := runOne(spec, j.label, j.run)
-				results[j.label*spec.RunsPerClass+j.run] = result{
-					label: j.label, run: j.run, samples: res.samples, stats: res.stats,
-				}
-			}
-		}()
-	}
-	for label := range spec.Classes {
-		for run := 0; run < spec.RunsPerClass; run++ {
-			jobs <- job{label, run}
-		}
-	}
-	close(jobs)
-	wg.Wait()
+	// Fan the (label, run) grid across the pool. Each run derives its own
+	// seeds from (Seed, label, run) below, so the runner's stream is unused
+	// and results are byte-identical at any worker count.
+	n := len(spec.Classes) * spec.RunsPerClass
+	results, _ := runner.MapN(context.Background(), runner.Options{Workers: spec.Workers}, n,
+		func(_ context.Context, i int, _ *rng.Stream) (oneResult, error) {
+			return runOne(spec, i/spec.RunsPerClass, i%spec.RunsPerClass), nil
+		})
 
 	periodMS := float64(spec.AttackPeriodTicks) * spec.Cfg.TickSeconds * 1000
 	stats := make([]RunStats, 0, len(results))
-	for _, r := range results {
-		ds.Add(r.label, periodMS, r.samples)
+	for i, r := range results {
+		ds.Add(i/spec.RunsPerClass, periodMS, r.samples)
 		stats = append(stats, r.stats)
 	}
 	return ds, stats

@@ -8,6 +8,7 @@ import (
 	"github.com/maya-defense/maya/internal/core"
 	"github.com/maya-defense/maya/internal/signal"
 	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/trace"
 )
 
 var (
@@ -205,5 +206,45 @@ func TestMayaGSTracesFollowMaskNotApp(t *testing.T) {
 	}
 	if c := math.Abs(signal.Pearson(a[:n], b[:n])); c > 0.3 {
 		t.Fatalf("two GS runs correlate: %g", c)
+	}
+}
+
+func TestCollectDeterministicAcrossWorkers(t *testing.T) {
+	art := sys1Art(t)
+	collect := func(workers int) (*trace.Dataset, []RunStats) {
+		return Collect(CollectSpec{
+			Cfg:          sim.Sys1(),
+			Design:       NewDesign(MayaGS, sim.Sys1(), art, 20),
+			Classes:      AppClasses(0.12)[:3],
+			RunsPerClass: 3,
+			MaxTicks:     3000,
+			WarmupTicks:  500,
+			Seed:         77,
+			Workers:      workers,
+		})
+	}
+	ds1, st1 := collect(1)
+	for _, workers := range []int{4, 9} {
+		dsN, stN := collect(workers)
+		if len(dsN.Traces) != len(ds1.Traces) {
+			t.Fatalf("workers=%d: %d traces vs %d serial", workers, len(dsN.Traces), len(ds1.Traces))
+		}
+		for i := range ds1.Traces {
+			a, b := ds1.Traces[i], dsN.Traces[i]
+			if a.Label != b.Label || len(a.Samples) != len(b.Samples) {
+				t.Fatalf("workers=%d: trace %d shape mismatch", workers, i)
+			}
+			for j := range a.Samples {
+				if a.Samples[j] != b.Samples[j] {
+					t.Fatalf("workers=%d: trace %d sample %d differs: %v vs %v",
+						workers, i, j, a.Samples[j], b.Samples[j])
+				}
+			}
+		}
+		for i := range st1 {
+			if st1[i] != stN[i] {
+				t.Fatalf("workers=%d: run stats %d differ: %+v vs %+v", workers, i, st1[i], stN[i])
+			}
+		}
 	}
 }

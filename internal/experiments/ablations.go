@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -10,6 +11,8 @@ import (
 	"github.com/maya-defense/maya/internal/defense"
 	"github.com/maya-defense/maya/internal/dtw"
 	"github.com/maya-defense/maya/internal/mask"
+	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/runner"
 	"github.com/maya-defense/maya/internal/signal"
 	"github.com/maya-defense/maya/internal/sim"
 	"github.com/maya-defense/maya/internal/trace"
@@ -30,7 +33,10 @@ func (m *maskDesign) Policy(seed uint64) sim.Policy {
 	return eng
 }
 
-// collectWithPolicy mirrors defense.Collect for custom policy factories.
+// collectWithPolicy mirrors defense.Collect for custom policy factories,
+// fanning the (label, run) grid across the worker pool. Per-run seeds are a
+// pure function of (seed, label, run), so results are identical at any
+// worker count.
 func collectWithPolicy(cfg sim.Config, factory interface {
 	Policy(seed uint64) sim.Policy
 }, classes []defense.Class, sc Scale, seed uint64, maxTicks int) *trace.Dataset {
@@ -39,8 +45,10 @@ func collectWithPolicy(cfg sim.Config, factory interface {
 		names[i] = c.Name
 	}
 	ds := &trace.Dataset{ClassNames: names}
-	for label := range classes {
-		for run := 0; run < sc.RunsPerClass; run++ {
+	n := len(classes) * sc.RunsPerClass
+	samples, _ := runner.MapN(context.Background(), runner.Options{}, n,
+		func(_ context.Context, i int, _ *rng.Stream) ([]float64, error) {
+			label, run := i/sc.RunsPerClass, i%sc.RunsPerClass
 			base := seed + uint64(label)*1_000_003 + uint64(run)*7_919
 			m := sim.NewMachine(cfg, base+1)
 			w := classes[label].New()
@@ -52,8 +60,10 @@ func collectWithPolicy(cfg sim.Config, factory interface {
 				WarmupTicks:        sc.WarmupTicks,
 				Samplers:           []*sim.Sampler{att},
 			})
-			ds.Add(label, 20, att.Samples)
-		}
+			return att.Samples, nil
+		})
+	for i, s := range samples {
+		ds.Add(i/sc.RunsPerClass, 20, s)
 	}
 	return ds
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -156,20 +157,27 @@ func TableI(sc Scale, seed uint64) (*TableIResult, error) {
 	ctl := art.Controller.Clone()
 	gen := defense.NewDesign(defense.MayaGS, cfg, art, 20).Policy(seed)
 
-	const iters = 20000
+	// Time in batches and keep the fastest batch: the suite may be running
+	// other experiments concurrently, and the minimum over many short
+	// batches recovers the uncontended per-step cost.
+	const batches, perBatch = 20, 1000
+	minBatch := func(step func(i int)) int64 {
+		best := int64(math.MaxInt64)
+		for b := 0; b < batches; b++ {
+			start := time.Now()
+			for i := 0; i < perBatch; i++ {
+				step(b*perBatch + i)
+			}
+			if ns := time.Since(start).Nanoseconds() / perBatch; ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
 	// Controller-only timing.
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		ctl.Step(0.5)
-	}
-	ctlNs := time.Since(start).Nanoseconds() / iters
-
+	ctlNs := minBatch(func(int) { ctl.Step(0.5) })
 	// Full Decide (mask + controller + actuation mapping).
-	start = time.Now()
-	for i := 0; i < iters; i++ {
-		gen.Decide(i+1, 15.0)
-	}
-	totalNs := time.Since(start).Nanoseconds() / iters
+	totalNs := minBatch(func(i int) { gen.Decide(i+1, 15.0) })
 
 	return &TableIResult{
 		ControllerDim:  ctl.Dim(),
@@ -188,7 +196,23 @@ func (r *TableIResult) Render() string {
 	fmt.Fprintf(&b, "  dimension:        %d states (paper: 11 with µ-synthesis weights)\n", r.ControllerDim)
 	fmt.Fprintf(&b, "  ops/step:         ≈%d multiply-accumulates (paper: ≈200)\n", r.OpsPerStep)
 	fmt.Fprintf(&b, "  storage:          %d bytes (paper: <1 KB)\n", r.StorageBytes)
-	fmt.Fprintf(&b, "  controller step:  %d ns (paper: <1 µs)\n", r.CtlStepNanos)
-	fmt.Fprintf(&b, "  full Maya step:   %d ns (Table I budget: 5–10 µs)\n", r.TotalStepNanos)
+	// The measured latencies are rendered as budget buckets, not raw
+	// nanoseconds: the report body must be byte-identical across reruns
+	// (exact values stay in the struct for tests and benchmarks).
+	fmt.Fprintf(&b, "  controller step:  %s measured (paper: <1 µs)\n", fmtBudget(r.CtlStepNanos))
+	fmt.Fprintf(&b, "  full Maya step:   %s measured (Table I budget: 5–10 µs)\n", fmtBudget(r.TotalStepNanos))
 	return b.String()
+}
+
+// fmtBudget buckets a step latency against the Table I budget tiers.
+func fmtBudget(ns int64) string {
+	switch {
+	case ns < 1_000:
+		return "<1 µs"
+	case ns < 5_000:
+		return "1–5 µs"
+	case ns <= 10_000:
+		return "5–10 µs"
+	}
+	return ">10 µs (over budget)"
 }

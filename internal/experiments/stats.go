@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"github.com/maya-defense/maya/internal/changepoint"
 	"github.com/maya-defense/maya/internal/core"
 	"github.com/maya-defense/maya/internal/defense"
+	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/runner"
 	"github.com/maya-defense/maya/internal/signal"
 	"github.com/maya-defense/maya/internal/sim"
 	"github.com/maya-defense/maya/internal/trace"
@@ -351,37 +354,49 @@ func Fig13(sc Scale, seed uint64) (*Fig13Result, error) {
 	classes := defense.AppClasses(sc.WorkloadScale)
 	res := &Fig13Result{}
 	worstDelta := 0.0
-	for ci, cl := range classes {
-		var tgts, meas []float64
-		var mads []float64
-		for run := 0; run < max(sc.AvgRuns/4, 4); run++ {
-			s := seed + uint64(ci)*101 + uint64(run)*13
-			m := sim.NewMachine(cfg, s)
-			w := cl.New()
-			w.Reset(s + 1)
-			eng := defense.NewDesign(defense.MayaGS, cfg, art, 20).Policy(s + 2)
-			run := sim.Run(m, w, eng, sim.RunSpec{
-				ControlPeriodTicks: 20, MaxTicks: sc.TraceTicks, WarmupTicks: sc.WarmupTicks,
-			})
-			// The engine records every issued target; align with samples.
-			if e, ok := eng.(interface{ MaskTargets() []float64 }); ok {
-				t := e.MaskTargets()
-				first := run.FirstStep
-				n := len(run.DefenseSamples)
-				if first+n <= len(t) {
-					tgts = append(tgts, t[first:first+n]...)
-					meas = append(meas, run.DefenseSamples...)
-					mads = append(mads, signal.MeanAbsDeviation(run.DefenseSamples, t[first:first+n]))
+	// One pool job per class; per-run seeds are a pure function of
+	// (seed, class, run), so the fan-out is deterministic.
+	type classStats struct {
+		target, measured signal.BoxStats
+		mad              float64
+	}
+	perClass, err := runner.MapN(context.Background(), runner.Options{}, len(classes),
+		func(_ context.Context, ci int, _ *rng.Stream) (classStats, error) {
+			cl := classes[ci]
+			var tgts, meas []float64
+			var mads []float64
+			for run := 0; run < max(sc.AvgRuns/4, 4); run++ {
+				s := seed + uint64(ci)*101 + uint64(run)*13
+				m := sim.NewMachine(cfg, s)
+				w := cl.New()
+				w.Reset(s + 1)
+				eng := defense.NewDesign(defense.MayaGS, cfg, art, 20).Policy(s + 2)
+				run := sim.Run(m, w, eng, sim.RunSpec{
+					ControlPeriodTicks: 20, MaxTicks: sc.TraceTicks, WarmupTicks: sc.WarmupTicks,
+				})
+				// The engine records every issued target; align with samples.
+				if e, ok := eng.(interface{ MaskTargets() []float64 }); ok {
+					t := e.MaskTargets()
+					first := run.FirstStep
+					n := len(run.DefenseSamples)
+					if first+n <= len(t) {
+						tgts = append(tgts, t[first:first+n]...)
+						meas = append(meas, run.DefenseSamples...)
+						mads = append(mads, signal.MeanAbsDeviation(run.DefenseSamples, t[first:first+n]))
+					}
 				}
 			}
-		}
-		res.Classes = append(res.Classes, cl.Name)
-		tb := signal.Box(tgts)
-		mb := signal.Box(meas)
-		res.TargetBoxes = append(res.TargetBoxes, tb)
-		res.MeasuredBoxes = append(res.MeasuredBoxes, mb)
-		res.TrackingMAD = append(res.TrackingMAD, signal.Mean(mads))
-		if d := absF(tb.Median - mb.Median); d > worstDelta {
+			return classStats{target: signal.Box(tgts), measured: signal.Box(meas), mad: signal.Mean(mads)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for ci, cs := range perClass {
+		res.Classes = append(res.Classes, classes[ci].Name)
+		res.TargetBoxes = append(res.TargetBoxes, cs.target)
+		res.MeasuredBoxes = append(res.MeasuredBoxes, cs.measured)
+		res.TrackingMAD = append(res.TrackingMAD, cs.mad)
+		if d := absF(cs.target.Median - cs.measured.Median); d > worstDelta {
 			worstDelta = d
 		}
 	}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"regexp"
+	"time"
+
+	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/runner"
+	"github.com/maya-defense/maya/internal/sim"
+)
+
+// SuiteEntry is one experiment of the full evaluation sweep.
+type SuiteEntry struct {
+	// Name selects the entry from the CLI (-run regexp).
+	Name string
+	// Run executes the experiment at the given scale and base seed.
+	Run func(sc Scale, seed uint64) (Result, error)
+}
+
+// Suite returns every experiment of the paper's evaluation in report order:
+// figure pipelines, the extension analyses, and the ablations. The list is
+// shared by cmd/experiments, the benchmarks, and the determinism tests.
+func Suite() []SuiteEntry {
+	return []SuiteEntry{
+		{"fig3", func(sc Scale, seed uint64) (Result, error) {
+			return Fig3(sim.Sys1(), sc, seed)
+		}},
+		{"fig4", func(sc Scale, seed uint64) (Result, error) {
+			d, err := DesignFor(sim.Sys1())
+			if err != nil {
+				return nil, err
+			}
+			return Fig4(d.Band, 50, 6000, seed), nil
+		}},
+		{"table1", func(sc Scale, seed uint64) (Result, error) {
+			return TableI(sc, seed)
+		}},
+		{"fig6", func(sc Scale, seed uint64) (Result, error) { return Fig6(sc, seed) }},
+		{"fig7", func(sc Scale, seed uint64) (Result, error) { return Fig7(sc, seed) }},
+		{"fig8", func(sc Scale, seed uint64) (Result, error) { return Fig8(sc, seed) }},
+		{"fig9", func(sc Scale, seed uint64) (Result, error) { return Fig9(sc, seed) }},
+		{"fig10", func(sc Scale, seed uint64) (Result, error) { return Fig10(sc, seed) }},
+		{"fig11", func(sc Scale, seed uint64) (Result, error) { return Fig11(sc, seed) }},
+		{"fig12", func(sc Scale, seed uint64) (Result, error) { return Fig12(sc, seed) }},
+		{"fig13", func(sc Scale, seed uint64) (Result, error) { return Fig13(sc, seed) }},
+		{"fig14", func(sc Scale, seed uint64) (Result, error) { return Fig14(sc, seed) }},
+		{"fig15", func(sc Scale, seed uint64) (Result, error) { return Fig15(sc, seed) }},
+		{"dtw", func(sc Scale, seed uint64) (Result, error) { return DTWAnalysis(sc, seed) }},
+		{"covert", func(sc Scale, seed uint64) (Result, error) { return CovertChannel(sc, seed) }},
+		{"thermal", func(sc Scale, seed uint64) (Result, error) { return Thermal(sc, seed) }},
+		{"toolbox", func(sc Scale, seed uint64) (Result, error) { return Toolbox(sc, seed) }},
+		{"ablation-masks", func(sc Scale, seed uint64) (Result, error) { return AblationMasks(sc, seed) }},
+		{"ablation-guardband", func(sc Scale, seed uint64) (Result, error) { return AblationGuardband(sc, seed) }},
+		{"ablation-nhold", func(sc Scale, seed uint64) (Result, error) { return AblationNhold(sc, seed) }},
+		{"ablation-actuators", func(sc Scale, seed uint64) (Result, error) { return AblationActuators(sc, seed) }},
+	}
+}
+
+// FilterSuite keeps entries whose names match the regexp (nil keeps all).
+func FilterSuite(entries []SuiteEntry, filter *regexp.Regexp) []SuiteEntry {
+	if filter == nil {
+		return entries
+	}
+	var out []SuiteEntry
+	for _, e := range entries {
+		if filter.MatchString(e.Name) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SuiteOutcome couples one entry's result with the runner's accounting.
+type SuiteOutcome struct {
+	Name string
+	Res  Result
+	Err  error
+	// Wall is the experiment's wall-clock duration.
+	Wall time.Duration
+	// AllocBytes is the experiment's approximate heap-allocation volume
+	// (upper bound when jobs overlap; see runner.Options.AllocStats).
+	AllocBytes uint64
+	// TimedOut marks entries that exceeded the per-job timeout.
+	TimedOut bool
+}
+
+// RunSuite executes the entries across opts.Workers workers and returns
+// outcomes in suite order. Every entry receives the same (sc, seed) it
+// would receive when run serially, so the rendered results are identical
+// for any worker count; only the accounting fields vary run to run.
+func RunSuite(ctx context.Context, entries []SuiteEntry, sc Scale, seed uint64, opts runner.Options) []SuiteOutcome {
+	opts.Seed = seed
+	opts.AllocStats = true
+	jobs := make([]runner.Job[Result], len(entries))
+	for i, e := range entries {
+		e := e
+		jobs[i] = runner.Job[Result]{
+			Name: e.Name,
+			// The runner-provided stream is deliberately unused: entries
+			// derive their randomness from the base seed so that serial and
+			// parallel sweeps are bit-for-bit identical.
+			Run: func(ctx context.Context, _ *rng.Stream) (Result, error) {
+				return e.Run(sc, seed)
+			},
+		}
+	}
+	results := runner.Run(ctx, opts, jobs)
+	outs := make([]SuiteOutcome, len(results))
+	for i, r := range results {
+		outs[i] = SuiteOutcome{
+			Name: r.Name, Res: r.Value, Err: r.Err,
+			Wall: r.Wall, AllocBytes: r.AllocBytes, TimedOut: r.TimedOut,
+		}
+	}
+	return outs
+}
+
+// WriteReport renders outcomes as the EXPERIMENTS.md-style report. The body
+// is deterministic — no timestamps or wall-clock values — so a sweep's
+// output is byte-identical for any worker count and can be diffed across
+// runs. With timing set, a (nondeterministic) accounting section listing
+// per-job wall-clock and allocation volume is appended.
+func WriteReport(w io.Writer, sc Scale, seed uint64, outs []SuiteOutcome, timing bool) error {
+	if _, err := fmt.Fprintf(w, "# Maya experiments (scale=%s, seed=%d)\n\nGenerated by cmd/experiments.\n\n", sc.Name, seed); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		if o.Err != nil {
+			if _, err := fmt.Fprintf(w, "## %s\n\nERROR: %v\n\n", o.Name, o.Err); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "## %s (%s)\n\n```\n%s```\n\n", o.Res.ID(), o.Name, o.Res.Render()); err != nil {
+			return err
+		}
+	}
+	if timing {
+		if _, err := fmt.Fprintf(w, "## Timing\n\n```\n%s```\n", TimingSummary(outs)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TimingSummary renders the per-job accounting table (wall-clock and
+// allocation volume per experiment, plus totals).
+func TimingSummary(outs []SuiteOutcome) string {
+	var total time.Duration
+	var totalAlloc uint64
+	s := fmt.Sprintf("%-20s %10s %12s\n", "experiment", "wall", "alloc")
+	for _, o := range outs {
+		status := ""
+		if o.TimedOut {
+			status = "  (timed out)"
+		} else if o.Err != nil {
+			status = "  (failed)"
+		}
+		s += fmt.Sprintf("%-20s %10s %12s%s\n", o.Name, o.Wall.Round(time.Millisecond), fmtBytes(o.AllocBytes), status)
+		total += o.Wall
+		totalAlloc += o.AllocBytes
+	}
+	s += fmt.Sprintf("%-20s %10s %12s  (sum of per-job wall clocks)\n", "total", total.Round(time.Millisecond), fmtBytes(totalAlloc))
+	return s
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/runner"
+)
+
+func TestSuiteCoversAllEntriesOnce(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Suite() {
+		if e.Name == "" || e.Run == nil {
+			t.Fatalf("malformed entry %+v", e)
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate suite entry %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	for _, want := range []string{"fig3", "fig13", "ablation-actuators", "toolbox"} {
+		if !seen[want] {
+			t.Fatalf("suite missing %q", want)
+		}
+	}
+}
+
+func TestFilterSuite(t *testing.T) {
+	all := Suite()
+	if got := FilterSuite(all, nil); len(got) != len(all) {
+		t.Fatalf("nil filter should keep all entries")
+	}
+	got := FilterSuite(all, regexp.MustCompile(`^fig1[0-5]$`))
+	if len(got) != 6 {
+		t.Fatalf("fig1x filter kept %d entries, want 6", len(got))
+	}
+}
+
+// TestReportIdenticalAcrossWorkerCounts is the tentpole guarantee: the
+// rendered report is byte-for-byte identical whether the suite runs on one
+// worker or many.
+func TestReportIdenticalAcrossWorkerCounts(t *testing.T) {
+	sc := tiny()
+	entries := FilterSuite(Suite(), regexp.MustCompile(`^(fig3|fig4|table1)$`))
+	if len(entries) != 3 {
+		t.Fatalf("filter kept %d entries, want 3", len(entries))
+	}
+	render := func(workers int) []byte {
+		outs := RunSuite(context.Background(), entries, sc, 7, runner.Options{Workers: workers})
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, sc, 7, outs, false); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	if !strings.Contains(string(serial), "## ") {
+		t.Fatalf("report has no sections:\n%s", serial)
+	}
+	for _, workers := range []int{4, 8} {
+		if par := render(workers); !bytes.Equal(serial, par) {
+			t.Fatalf("report differs between 1 and %d workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, serial, par)
+		}
+	}
+}
+
+func TestWriteReportRendersErrorsAndTiming(t *testing.T) {
+	outs := []SuiteOutcome{
+		{Name: "broken", Err: context.DeadlineExceeded, TimedOut: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, tiny(), 1, outs, true); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"## broken", "ERROR:", "## Timing", "timed out"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -67,6 +67,41 @@ func (r *Stream) Split() *Stream {
 	return New(s)
 }
 
+// ChildSeed derives the seed of the index-th child of a base seed. Unlike
+// Split, derivation is a pure function of (seed, index): children can be
+// created in any order, from any goroutine, and the result never depends on
+// how many children were derived before. This is the primitive the parallel
+// experiment runner uses to keep fan-out bit-for-bit deterministic
+// regardless of worker count or completion order.
+func ChildSeed(seed, index uint64) uint64 {
+	// Mix the seed first so the (seed, index) → child map has no linear
+	// structure, then fold the index in and mix again. The constant
+	// separates this domain from New's direct SplitMix64 expansion.
+	h := seed ^ 0x6a09e667f3bcc909
+	h = splitmix64(&h)
+	h ^= index
+	return splitmix64(&h)
+}
+
+// NewChild returns the index-th child stream of a base seed; see ChildSeed.
+func NewChild(seed, index uint64) *Stream {
+	return New(ChildSeed(seed, index))
+}
+
+// ChildAt returns the index-th child stream derived from the receiver's
+// current state, without advancing the receiver. Distinct indices yield
+// independent streams, and the same index always yields the same stream
+// until the receiver is advanced. Multiple goroutines may call ChildAt
+// concurrently as long as none of them advances the receiver at the same
+// time.
+func (r *Stream) ChildAt(index uint64) *Stream {
+	h := r.s[0] ^ bits.RotateLeft64(r.s[1], 13) ^
+		bits.RotateLeft64(r.s[2], 29) ^ bits.RotateLeft64(r.s[3], 43)
+	h = splitmix64(&h)
+	h ^= index
+	return New(splitmix64(&h))
+}
+
 // Uint64 returns the next 64 random bits (xoshiro256**).
 func (r *Stream) Uint64() uint64 {
 	result := bits.RotateLeft64(r.s[1]*5, 7) * 9

@@ -1,7 +1,9 @@
 package rng
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -197,5 +199,120 @@ func TestShuffleKeepsElements(t *testing.T) {
 	}
 	if sum != 15 {
 		t.Fatalf("shuffle lost elements: %v", v)
+	}
+}
+
+func TestChildSeedOrderIndependent(t *testing.T) {
+	// Deriving children in any order must yield identical streams: the
+	// parallel runner's determinism guarantee rests on this.
+	forward := make([]uint64, 32)
+	for i := range forward {
+		forward[i] = ChildSeed(7, uint64(i))
+	}
+	for i := len(forward) - 1; i >= 0; i-- {
+		if ChildSeed(7, uint64(i)) != forward[i] {
+			t.Fatalf("child %d differs when derived in reverse order", i)
+		}
+	}
+	// Distinct indices and distinct seeds give distinct children.
+	seen := map[uint64]bool{}
+	for seed := uint64(0); seed < 4; seed++ {
+		for i := uint64(0); i < 64; i++ {
+			s := ChildSeed(seed, i)
+			if seen[s] {
+				t.Fatalf("collision at seed=%d index=%d", seed, i)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestChildStreamsIndependent(t *testing.T) {
+	a, b := NewChild(5, 0), NewChild(5, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical draws from sibling children", same)
+	}
+	// A child must not mirror a directly-seeded stream of the same base.
+	c, d := NewChild(5, 0), New(5)
+	for i := 0; i < 100; i++ {
+		if c.Uint64() != d.Uint64() {
+			return
+		}
+	}
+	t.Fatal("child 0 mirrors New(seed)")
+}
+
+func TestChildAtConcurrent(t *testing.T) {
+	// Children derived from different goroutines, in different orders, must
+	// yield identical sequences to serial derivation.
+	parent := New(1234)
+	parent.Uint64() // advance to a non-trivial state
+	want := make([][]uint64, 64)
+	for i := range want {
+		c := parent.ChildAt(uint64(i))
+		seq := make([]uint64, 20)
+		for j := range seq {
+			seq[j] = c.Uint64()
+		}
+		want[i] = seq
+	}
+
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine walks the indices in a different order.
+			for k := 0; k < 64; k++ {
+				i := (k*13 + g*29) % 64
+				c := parent.ChildAt(uint64(i))
+				for j := 0; j < 20; j++ {
+					if got := c.Uint64(); got != want[i][j] {
+						errs <- fmt.Errorf("goroutine %d: child %d draw %d = %d, want %d", g, i, j, got, want[i][j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentChildSeedDerivation(t *testing.T) {
+	// ChildSeed from many goroutines simultaneously: pure function, no
+	// shared state, so every goroutine must see identical values.
+	const goroutines, children = 8, 256
+	got := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals := make([]uint64, children)
+			for i := range vals {
+				vals[i] = ChildSeed(42, uint64(i))
+			}
+			got[g] = vals
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range got[g] {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d child %d differs", g, i)
+			}
+		}
 	}
 }

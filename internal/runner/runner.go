@@ -1,0 +1,225 @@
+// Package runner schedules experiment jobs across a bounded worker pool.
+// It exists so the evaluation sweep — figure pipelines, ablations, attack
+// training folds, per-trace collection runs — can use every core without
+// giving up reproducibility:
+//
+//   - Each job receives its own random stream, derived from the pool's base
+//     seed and the job's submission index via rng.ChildSeed. Derivation is a
+//     pure function of (seed, index), so results are bit-for-bit identical
+//     regardless of the worker count or the order in which jobs finish.
+//   - Results are collected in submission order.
+//   - A panicking job degrades to a reported error (with the captured stack)
+//     instead of killing the whole sweep.
+//   - Cancellation via context.Context stops feeding new jobs; an optional
+//     per-job timeout abandons stragglers while the rest of the sweep
+//     proceeds.
+//   - Every result carries wall-clock and (optionally) allocation accounting
+//     so experiment summaries can report where the sweep's time went.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"github.com/maya-defense/maya/internal/rng"
+)
+
+// Options configures a pool invocation.
+type Options struct {
+	// Workers is the number of concurrent worker goroutines. Values <= 0
+	// mean GOMAXPROCS. Workers == 1 runs jobs serially in submission order.
+	Workers int
+	// Timeout caps each job's wall-clock time. 0 disables. A timed-out job
+	// is abandoned (its goroutine is left to finish and be collected; jobs
+	// that honor their context exit early) and reported with TimedOut set.
+	Timeout time.Duration
+	// Seed is the base seed from which every job's private stream is
+	// derived (child i gets rng.NewChild(Seed, i)).
+	Seed uint64
+	// AllocStats enables per-job allocation deltas via runtime.ReadMemStats.
+	// The read is cheap relative to experiment-sized jobs but not to
+	// microsecond-sized ones, and under concurrency the delta attributes
+	// other workers' allocations to the job, so it is an upper bound.
+	AllocStats bool
+}
+
+// Job is one named unit of work.
+type Job[T any] struct {
+	// Name labels the job in results and error reports.
+	Name string
+	// Run executes the job. The stream is the job's private deterministic
+	// RNG; ctx is cancelled when the sweep is cancelled or the job's
+	// timeout elapses.
+	Run func(ctx context.Context, r *rng.Stream) (T, error)
+}
+
+// Result is one job's outcome, in submission order.
+type Result[T any] struct {
+	Name  string
+	Value T
+	// Err is non-nil if the job returned an error, panicked (a *PanicError),
+	// timed out, or was cancelled before starting.
+	Err error
+	// Wall is the job's wall-clock duration (zero if never started).
+	Wall time.Duration
+	// AllocBytes is the job's heap-allocation delta when Options.AllocStats
+	// is set; approximate under concurrency.
+	AllocBytes uint64
+	// TimedOut reports that the job exceeded Options.Timeout.
+	TimedOut bool
+}
+
+// PanicError wraps a panic captured inside a job.
+type PanicError struct {
+	Job   string
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job %q panicked: %v\n%s", e.Job, e.Value, e.Stack)
+}
+
+// Run executes jobs across the pool and returns their results in submission
+// order. It never returns early: every job either ran, timed out, or is
+// marked cancelled.
+func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) []Result[T] {
+	results := make([]Result[T], len(jobs))
+	for i, j := range jobs {
+		results[i].Name = j.Name
+	}
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runJob(ctx, opts, i, jobs[i], &results[i])
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	// Jobs never handed to a worker report the sweep's cancellation.
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Wall == 0 && results[i].Err == nil {
+				results[i].Err = err
+			}
+		}
+	}
+	return results
+}
+
+// jobOutcome carries a finished job's payload from its goroutine.
+type jobOutcome[T any] struct {
+	value T
+	err   error
+	alloc uint64
+	wall  time.Duration
+}
+
+// runJob executes one job with panic capture and the per-job timeout,
+// writing into *out (each index is owned by exactly one worker).
+func runJob[T any](ctx context.Context, opts Options, i int, job Job[T], out *Result[T]) {
+	jctx := ctx
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	stream := rng.NewChild(opts.Seed, uint64(i))
+
+	// The job runs in its own goroutine so a timeout can abandon it; the
+	// buffered channel lets an abandoned job finish and be collected.
+	ch := make(chan jobOutcome[T], 1)
+	start := time.Now()
+	go func() {
+		var o jobOutcome[T]
+		defer func() {
+			if p := recover(); p != nil {
+				o.err = &PanicError{Job: job.Name, Value: p, Stack: debug.Stack()}
+			}
+			o.wall = time.Since(start)
+			ch <- o
+		}()
+		var before runtime.MemStats
+		if opts.AllocStats {
+			runtime.ReadMemStats(&before)
+		}
+		o.value, o.err = job.Run(jctx, stream)
+		if opts.AllocStats {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			o.alloc = after.TotalAlloc - before.TotalAlloc
+		}
+	}()
+
+	select {
+	case o := <-ch:
+		out.Value, out.Err, out.AllocBytes, out.Wall = o.value, o.err, o.alloc, o.wall
+	case <-jctx.Done():
+		out.Err = jctx.Err()
+		out.Wall = time.Since(start)
+		out.TimedOut = opts.Timeout > 0 && ctx.Err() == nil
+	}
+}
+
+// MapN fans an index range [0, n) across the pool and returns the values in
+// index order. The first job error (in submission order) is returned; values
+// of failed jobs are their zero value.
+func MapN[U any](ctx context.Context, opts Options, n int, fn func(ctx context.Context, i int, r *rng.Stream) (U, error)) ([]U, error) {
+	jobs := make([]Job[U], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[U]{
+			Name: fmt.Sprintf("#%d", i),
+			Run: func(ctx context.Context, r *rng.Stream) (U, error) {
+				return fn(ctx, i, r)
+			},
+		}
+	}
+	results := Run(ctx, opts, jobs)
+	values := make([]U, n)
+	var firstErr error
+	for i, res := range results {
+		values[i] = res.Value
+		if res.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("job %d: %w", i, res.Err)
+		}
+	}
+	return values, firstErr
+}
+
+// Map applies fn to every item across the pool, preserving item order.
+func Map[T, U any](ctx context.Context, opts Options, items []T, fn func(ctx context.Context, i int, item T, r *rng.Stream) (U, error)) ([]U, error) {
+	return MapN(ctx, opts, len(items), func(ctx context.Context, i int, r *rng.Stream) (U, error) {
+		return fn(ctx, i, items[i], r)
+	})
+}

@@ -1,0 +1,201 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/maya-defense/maya/internal/rng"
+)
+
+// drawSum consumes the job's private stream: the value depends only on the
+// stream, so identical results across worker counts prove the per-job
+// derivation is order-independent.
+func drawSum(r *rng.Stream, n int) uint64 {
+	var s uint64
+	for i := 0; i < n; i++ {
+		s += r.Uint64()
+	}
+	return s
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	const jobs = 40
+	run := func(workers int) []uint64 {
+		values, err := MapN(context.Background(), Options{Workers: workers, Seed: 99},
+			jobs, func(_ context.Context, i int, r *rng.Stream) (uint64, error) {
+				// Scramble completion order so late finishers would expose
+				// any order dependence.
+				if i%7 == 0 {
+					time.Sleep(time.Duration(i%3) * time.Millisecond)
+				}
+				return drawSum(r, 50+i), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return values
+	}
+	want := run(1)
+	for _, w := range []int{2, 3, 8, 16} {
+		got := run(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: job %d yields %d, serial yields %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestResultsInSubmissionOrder(t *testing.T) {
+	jobs := make([]Job[int], 20)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Name: fmt.Sprintf("job-%d", i),
+			Run: func(context.Context, *rng.Stream) (int, error) {
+				time.Sleep(time.Duration((20-i)%5) * time.Millisecond)
+				return i * i, nil
+			},
+		}
+	}
+	results := Run(context.Background(), Options{Workers: 6}, jobs)
+	for i, r := range results {
+		if r.Name != fmt.Sprintf("job-%d", i) || r.Value != i*i {
+			t.Fatalf("result %d out of order: %+v", i, r)
+		}
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Wall <= 0 {
+			t.Fatalf("job %d missing wall-clock accounting", i)
+		}
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	jobs := []Job[int]{
+		{Name: "ok", Run: func(context.Context, *rng.Stream) (int, error) { return 1, nil }},
+		{Name: "boom", Run: func(context.Context, *rng.Stream) (int, error) { panic("kaboom") }},
+		{Name: "also-ok", Run: func(context.Context, *rng.Stream) (int, error) { return 3, nil }},
+	}
+	results := Run(context.Background(), Options{Workers: 2}, jobs)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy jobs infected: %v %v", results[0].Err, results[2].Err)
+	}
+	var pe *PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("want PanicError, got %v", results[1].Err)
+	}
+	if pe.Job != "boom" || !strings.Contains(pe.Error(), "kaboom") {
+		t.Fatalf("panic not captured: %v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+}
+
+func TestMapNReportsFirstError(t *testing.T) {
+	values, err := MapN(context.Background(), Options{Workers: 4}, 10,
+		func(_ context.Context, i int, _ *rng.Stream) (int, error) {
+			if i == 3 || i == 7 {
+				return 0, fmt.Errorf("fail-%d", i)
+			}
+			return i, nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "fail-3") {
+		t.Fatalf("want first error (job 3), got %v", err)
+	}
+	if values[4] != 4 || values[9] != 9 {
+		t.Fatalf("healthy values lost: %v", values)
+	}
+}
+
+func TestPerJobTimeout(t *testing.T) {
+	results := Run(context.Background(), Options{Workers: 2, Timeout: 20 * time.Millisecond},
+		[]Job[int]{
+			{Name: "fast", Run: func(context.Context, *rng.Stream) (int, error) { return 1, nil }},
+			{Name: "slow", Run: func(ctx context.Context, _ *rng.Stream) (int, error) {
+				select {
+				case <-time.After(5 * time.Second):
+					return 2, nil
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				}
+			}},
+		})
+	if results[0].Err != nil || results[0].Value != 1 {
+		t.Fatalf("fast job: %+v", results[0])
+	}
+	if !results[1].TimedOut || !errors.Is(results[1].Err, context.DeadlineExceeded) {
+		t.Fatalf("slow job should time out: %+v", results[1])
+	}
+}
+
+func TestCancellationStopsFeeding(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	jobs := make([]Job[int], 100)
+	for i := range jobs {
+		jobs[i] = Job[int]{Name: fmt.Sprintf("j%d", i), Run: func(ctx context.Context, _ *rng.Stream) (int, error) {
+			// The second job to start cancels the sweep; already-running
+			// jobs complete, unfed jobs are marked cancelled.
+			if started.Add(1) == 2 {
+				cancel()
+			}
+			time.Sleep(2 * time.Millisecond)
+			return 1, nil
+		}}
+	}
+	results := Run(ctx, Options{Workers: 2}, jobs)
+	// In-flight jobs race the cancellation (either completing or being
+	// abandoned is fine); everything else must be marked cancelled, and the
+	// feed must have stopped well short of the full list.
+	for _, r := range results {
+		if r.Err != nil && !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("job %s: unexpected outcome %+v", r.Name, r)
+		}
+	}
+	if n := started.Load(); n < 1 || n >= 50 {
+		t.Fatalf("cancellation should stop the feed early: %d jobs started", n)
+	}
+}
+
+func TestAllocAccounting(t *testing.T) {
+	values, err := MapN(context.Background(), Options{Workers: 1, AllocStats: true}, 1,
+		func(context.Context, int, *rng.Stream) ([]byte, error) {
+			return make([]byte, 1<<20), nil
+		})
+	if err != nil || len(values[0]) != 1<<20 {
+		t.Fatalf("job failed: %v", err)
+	}
+	jobs := []Job[[]byte]{{Name: "alloc", Run: func(context.Context, *rng.Stream) ([]byte, error) {
+		return make([]byte, 1<<20), nil
+	}}}
+	results := Run(context.Background(), Options{Workers: 1, AllocStats: true}, jobs)
+	if results[0].AllocBytes < 1<<20 {
+		t.Fatalf("alloc accounting missed the 1 MiB allocation: %d bytes", results[0].AllocBytes)
+	}
+}
+
+func TestEmptyAndDefaults(t *testing.T) {
+	if got := Run[int](context.Background(), Options{}, nil); len(got) != 0 {
+		t.Fatalf("empty job list: %v", got)
+	}
+	// Workers <= 0 falls back to GOMAXPROCS; must still complete.
+	values, err := MapN(context.Background(), Options{Workers: -1}, 5,
+		func(_ context.Context, i int, _ *rng.Stream) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		if v != i {
+			t.Fatalf("values scrambled: %v", values)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run every benchmark once (smoke mode) and record the results as
+# BENCH_<date>.txt (raw `go test` output) and BENCH_<date>.json (one object
+# per benchmark: name, ns/op, B/op, allocs/op, and any custom metrics).
+#
+# Usage: scripts/bench.sh [bench-regexp]   (default: all benchmarks)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+date="$(date -u +%Y%m%d)"
+txt="BENCH_${date}.txt"
+json="BENCH_${date}.json"
+
+go test -run '^$' -bench "$pattern" -benchtime=1x -benchmem ./... | tee "$txt"
+
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s", $1, $2
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/"/, "", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { print "\n]" }
+' "$txt" > "$json"
+
+echo "wrote $txt and $json" >&2
