@@ -5,26 +5,35 @@
 // Usage:
 //
 //	experiments [-scale small|paper] [-run regexp] [-seed N] [-o report.md]
-//	            [-parallel N] [-timeout d] [-timing]
+//	            [-parallel N] [-timeout d] [-timing] [-telemetry]
+//	            [-debug-addr host:port]
 //
 // With no -run filter it executes the complete suite. Experiments run across
 // -parallel workers; the report body is byte-identical for every worker
-// count (and contains no timestamps), so reruns can be diffed. Per-entry
-// wall-clock goes to stderr; -timing appends an accounting section with
-// per-job wall-clock and allocation volume.
+// count (and contains no timestamps), so reruns can be diffed. The per-job
+// wall-clock/allocation accounting goes through one sink: the -timing report
+// section when requested, stderr otherwise. -telemetry appends the metrics
+// registry (pool depth, job latency histograms) as a report section, and
+// -debug-addr serves net/http/pprof plus a Prometheus-style /metrics
+// endpoint while the suite runs.
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"regexp"
 	"time"
 
 	"github.com/maya-defense/maya/internal/experiments"
 	"github.com/maya-defense/maya/internal/runner"
+	"github.com/maya-defense/maya/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +44,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker count for the suite (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-experiment timeout (0 = none)")
 	timing := flag.Bool("timing", false, "append a per-experiment timing section to the report")
+	telFlag := flag.Bool("telemetry", false, "append the telemetry registry as a report section")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address during the run")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -66,10 +77,15 @@ func main() {
 		w = f
 	}
 
+	reg := telemetry.NewRegistry()
+	if *debugAddr != "" {
+		serveDebug(*debugAddr, reg)
+	}
+
 	entries := experiments.FilterSuite(experiments.Suite(), filter)
 	start := time.Now()
 	outs := experiments.RunSuite(context.Background(), entries, sc, *seed,
-		runner.Options{Workers: *parallel, Timeout: *timeout})
+		runner.Options{Workers: *parallel, Timeout: *timeout, Metrics: runner.NewMetrics(reg)})
 	failed := 0
 	for _, o := range outs {
 		switch {
@@ -79,17 +95,43 @@ func main() {
 		case o.Err != nil:
 			log.Printf("%s failed: %v", o.Name, o.Err)
 			failed++
-		default:
-			log.Printf("%s done in %.1fs", o.Name, o.Wall.Seconds())
 		}
 	}
 	log.Printf("suite: %d experiments in %.1fs wall (parallel=%d)",
 		len(outs), time.Since(start).Seconds(), *parallel)
+	if !*timing {
+		// The accounting has exactly one sink: the report section when
+		// -timing is set, stderr otherwise.
+		fmt.Fprint(os.Stderr, experiments.TimingSummary(outs))
+	}
 
-	if err := experiments.WriteReport(w, sc, *seed, outs, *timing); err != nil {
+	opts := experiments.ReportOptions{Timing: *timing}
+	if *telFlag {
+		opts.Telemetry = reg
+	}
+	if err := experiments.WriteReportOpts(w, sc, *seed, outs, opts); err != nil {
 		log.Fatal(err)
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// serveDebug exposes pprof (via the default mux) and the metrics registry
+// on addr for the duration of the run.
+func serveDebug(addr string, reg *telemetry.Registry) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WriteProm(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("debug server: %v", err)
+	}
+	log.Printf("debug server on http://%s (pprof at /debug/pprof/, metrics at /metrics)", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			log.Printf("debug server stopped: %v", err)
+		}
+	}()
 }

@@ -7,9 +7,17 @@
 //	mayactl [-machine sys1|sys2|sys3] [-defense baseline|noisy|random|constant|gs]
 //	        [-workload blackscholes|video/tractor|web/google|instr/imul|...]
 //	        [-seconds 20] [-scale 0.2] [-seed 1] [-csv out.csv]
+//	        [-flight out.jsonl] [-metrics]
 //
 // The CSV output has one row per 20 ms control period:
 // time_s,power_w,target_w,freq_ghz,idle,balloon.
+//
+// For the Maya designs, -flight writes the control loop's flight-recorder
+// trace — one JSON object per control period with the mask target, measured
+// power, tracking error, commanded and applied knob levels, and
+// saturation/clip flags — and -metrics dumps the telemetry registry
+// (Prometheus text format) after the run. Flight traces contain only
+// simulated-domain values, so they are byte-identical for a fixed seed.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"github.com/maya-defense/maya/internal/plot"
 	"github.com/maya-defense/maya/internal/signal"
 	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/telemetry"
 	"github.com/maya-defense/maya/internal/workload"
 )
 
@@ -94,6 +103,8 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "workload scale factor")
 	seed := flag.Uint64("seed", 1, "run seed (the defense's secret)")
 	csvPath := flag.String("csv", "", "write the per-period trace to this CSV file")
+	flightPath := flag.String("flight", "", "write the flight-recorder trace (Maya designs) to this JSONL file")
+	showMetrics := flag.Bool("metrics", false, "dump the telemetry registry after the run")
 	stopOnFinish := flag.Bool("stop-on-finish", false, "end when the workload completes")
 	showPlot := flag.Bool("plot", false, "render the trace (and mask overlay) as ASCII")
 	dumpMachine := flag.String("dump-machine", "", "print a machine preset as JSON and exit")
@@ -150,6 +161,22 @@ func main() {
 	m := sim.NewMachine(cfg, *seed)
 	w.Reset(*seed + 1)
 	pol := defense.NewDesign(kind, cfg, art, 20).Policy(*seed + 2)
+
+	reg := telemetry.NewRegistry()
+	var flight *telemetry.FlightRecorder
+	if eng, ok := pol.(*core.Engine); ok {
+		eng.SetMetrics(core.NewEngineMetrics(reg))
+		if *flightPath != "" {
+			// Size the ring to the whole run (warmup included) so the spill
+			// at the end is the complete trace.
+			steps := 2000/20 + int(*seconds*1000)/20 + 8
+			flight = telemetry.NewFlightRecorder(steps)
+			eng.SetFlight(flight)
+		}
+	} else if *flightPath != "" {
+		log.Fatalf("-flight needs a Maya design (constant or gs), not %q", *defName)
+	}
+
 	res := sim.Run(m, w, pol, sim.RunSpec{
 		ControlPeriodTicks: 20,
 		MaxTicks:           int(*seconds * 1000),
@@ -205,6 +232,27 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace:     %s (%d rows)\n", *csvPath, len(res.DefenseSamples))
+	}
+
+	if flight != nil {
+		f, err := os.Create(*flightPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := flight.Flush(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("flight:    %s (%d records, %d dropped)\n", *flightPath, flight.Total(), flight.Dropped())
+	}
+
+	if *showMetrics {
+		fmt.Println("\ntelemetry:")
+		if err := reg.WriteProm(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

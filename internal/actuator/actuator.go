@@ -117,3 +117,22 @@ func (s Set) Norms(dvfs, idle, balloon float64) [3]float64 {
 func (s Set) FromNorms(u [3]float64) (dvfs, idle, balloon float64) {
 	return s.DVFS.FromNorm(u[0]), s.Idle.FromNorm(u[1]), s.Balloon.FromNorm(u[2])
 }
+
+// FromNormInfo is FromNorm plus a clip report: clipped is true when x lay
+// outside [0, 1], i.e. the commanded value exceeded the knob's authority
+// and was clamped before quantization. The telemetry layer counts these
+// events; sustained clipping on a knob means the controller is asking for
+// more range than the actuator has.
+func (k Knob) FromNormInfo(x float64) (v float64, clipped bool) {
+	clipped = x < 0 || x > 1
+	return k.FromNorm(x), clipped
+}
+
+// FromNormsInfo quantizes like FromNorms and reports, per input, whether
+// the normalized command was clipped to [0, 1].
+func (s Set) FromNormsInfo(u [3]float64) (dvfs, idle, balloon float64, clipped [3]bool) {
+	dvfs, clipped[0] = s.DVFS.FromNormInfo(u[0])
+	idle, clipped[1] = s.Idle.FromNormInfo(u[1])
+	balloon, clipped[2] = s.Balloon.FromNormInfo(u[2])
+	return dvfs, idle, balloon, clipped
+}

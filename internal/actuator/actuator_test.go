@@ -76,6 +76,35 @@ func TestSetVectorOrdering(t *testing.T) {
 	}
 }
 
+func TestFromNormsInfoClipFlags(t *testing.T) {
+	s := Set{DVFS: DVFSKnob(1.2, 2.0), Idle: StandardIdle(), Balloon: StandardBalloon()}
+
+	// In-range commands produce the same values as FromNorms and no clips.
+	in := [3]float64{0.5, 0.25, 1}
+	d, i, b, clipped := s.FromNormsInfo(in)
+	wd, wi, wb := s.FromNorms(in)
+	if d != wd || i != wi || b != wb {
+		t.Fatalf("FromNormsInfo=(%g,%g,%g) disagrees with FromNorms=(%g,%g,%g)", d, i, b, wd, wi, wb)
+	}
+	if clipped != [3]bool{false, false, false} {
+		t.Fatalf("in-range command reported clips: %v", clipped)
+	}
+	// Boundary values are legal, not clipped.
+	if _, _, _, c := s.FromNormsInfo([3]float64{0, 1, 0}); c != [3]bool{false, false, false} {
+		t.Fatalf("boundary command reported clips: %v", c)
+	}
+
+	// Out-of-range commands clamp to the same value FromNorm gives and flag
+	// exactly the offending axes.
+	d, i, b, clipped = s.FromNormsInfo([3]float64{-0.2, 1.7, 0.5})
+	if d != 1.2 || math.Abs(i-0.48) > 1e-9 || math.Abs(b-0.5) > 1e-9 {
+		t.Fatalf("clamped values (%g,%g,%g)", d, i, b)
+	}
+	if clipped != [3]bool{true, true, false} {
+		t.Fatalf("clip flags %v, want [true true false]", clipped)
+	}
+}
+
 func TestZeroStepKnob(t *testing.T) {
 	k := NewKnob("fixed", 5, 5, 0)
 	if k.Levels() != 1 || k.Quantize(99) != 5 || k.ToNorm(5) != 0 {

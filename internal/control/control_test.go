@@ -426,6 +426,48 @@ func TestRobustToPlantMismatch(t *testing.T) {
 	}
 }
 
+func TestTelemetryAccessors(t *testing.T) {
+	m := testModel()
+	k, _, err := Synthesize(FromARX(m), DefaultSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Steps() != 0 || k.SaturatedSteps() != 0 || k.Saturated() {
+		t.Fatal("fresh controller reports non-zero telemetry")
+	}
+	if k.StateNorm() != 0 {
+		t.Fatalf("fresh controller state norm %g, want 0", k.StateNorm())
+	}
+
+	// Small errors around the operating point should not saturate; huge
+	// sustained errors must.
+	k.Step(0.01)
+	if k.Saturated() {
+		t.Fatal("tiny error saturated the inputs")
+	}
+	for i := 0; i < 100; i++ {
+		k.Step(+50)
+	}
+	if !k.Saturated() {
+		t.Fatal("sustained +50 W error should pin the inputs")
+	}
+	if k.Steps() != 101 {
+		t.Fatalf("steps = %d, want 101", k.Steps())
+	}
+	sat := k.SaturatedSteps()
+	if sat == 0 || sat > 100 {
+		t.Fatalf("saturated steps = %d, want in (0, 100]", sat)
+	}
+	if n := k.StateNorm(); n <= 0 || math.IsNaN(n) {
+		t.Fatalf("driven controller state norm %g", n)
+	}
+
+	k.Reset()
+	if k.Steps() != 0 || k.SaturatedSteps() != 0 || k.Saturated() || k.StateNorm() != 0 {
+		t.Fatal("Reset did not clear telemetry state")
+	}
+}
+
 func TestNaiveBounded(t *testing.T) {
 	n := NewNaive(3, 0.05, []float64{1, -1, 1}, []float64{0.5, 0.5, 0.5})
 	for i := 0; i < 100; i++ {

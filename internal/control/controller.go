@@ -2,6 +2,7 @@ package control
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/maya-defense/maya/internal/mat"
 )
@@ -40,6 +41,14 @@ type Controller struct {
 	z     float64
 	uPrev []float64 // deviation coordinates
 
+	// Step instrumentation (single-goroutine, like the state above): total
+	// steps since Reset, steps on which any input saturated, and whether
+	// the most recent step saturated. The telemetry layer reads these; the
+	// controller itself never branches on them.
+	steps    uint64
+	satSteps uint64
+	lastSat  bool
+
 	// Scratch buffers (Step allocates nothing).
 	xNext, bu, v, uOut, kxX []float64
 }
@@ -77,6 +86,7 @@ func (k *Controller) Reset() {
 	for i := range k.uPrev {
 		k.uPrev[i] = 0
 	}
+	k.steps, k.satSteps, k.lastSat = 0, 0, false
 }
 
 // Step consumes the tracking error Δy(T) = target − measured and returns
@@ -159,7 +169,37 @@ func (k *Controller) Step(deltaY float64) []float64 {
 	for j := 0; j < k.nu; j++ {
 		k.uPrev[j] = k.uOut[j] - k.uMean[j]
 	}
+	k.steps++
+	k.lastSat = sat
+	if sat {
+		k.satSteps++
+	}
 	return k.uOut
+}
+
+// Saturated reports whether the most recent Step clipped any input to
+// [0,1]. Sustained saturation means the mask target is outside the
+// actuators' authority — exactly the condition under which the measured
+// power stops following the mask and starts leaking the workload.
+func (k *Controller) Saturated() bool { return k.lastSat }
+
+// Steps returns the number of Step calls since the last Reset.
+func (k *Controller) Steps() uint64 { return k.steps }
+
+// SaturatedSteps returns how many of those steps saturated an input.
+func (k *Controller) SaturatedSteps() uint64 { return k.satSteps }
+
+// StateNorm returns the L2 norm of the structured controller state
+// [x̂; d̂; z; u_prev] without allocating (unlike State, which copies).
+func (k *Controller) StateNorm() float64 {
+	s := k.dhat*k.dhat + k.z*k.z
+	for _, v := range k.xhat {
+		s += v * v
+	}
+	for _, v := range k.uPrev {
+		s += v * v
+	}
+	return math.Sqrt(s)
 }
 
 // Matrices assembles the equivalent Eq. 1 matrices (A, B, C, D) of the

@@ -22,6 +22,7 @@ import (
 	"github.com/maya-defense/maya/internal/rng"
 	"github.com/maya-defense/maya/internal/sim"
 	"github.com/maya-defense/maya/internal/sysid"
+	"github.com/maya-defense/maya/internal/telemetry"
 )
 
 // Engine is one deployed Maya instance. It implements sim.Policy, so it
@@ -67,7 +68,52 @@ type Engine struct {
 	// simulation.
 	DecideTime time.Duration
 	Steps      int
+
+	// flight, when non-nil, records every Decide into a bounded ring; it
+	// captures only simulated-domain values, so a flight trace is
+	// deterministic for a fixed seed and never perturbs the decisions.
+	flight *telemetry.FlightRecorder
+	// metrics, when non-nil, feeds the aggregate counters.
+	metrics *EngineMetrics
 }
+
+// EngineMetrics aggregates one engine's control-loop health into a
+// registry. All fields are updated on the Decide hot path, so they are
+// plain atomic instruments resolved once at construction.
+type EngineMetrics struct {
+	// Steps counts Decide calls.
+	Steps *telemetry.Counter
+	// Saturations counts steps on which the controller clipped an input.
+	Saturations *telemetry.Counter
+	// QuantClips counts knob commands clamped at the actuator's range edge.
+	QuantClips *telemetry.Counter
+	// AbsErrorW observes |target − measured| each step after the first.
+	AbsErrorW *telemetry.Histogram
+	// StateNorm tracks the controller state's L2 norm (blow-up detector).
+	StateNorm *telemetry.Gauge
+}
+
+// NewEngineMetrics registers the engine instruments. Multiple engines may
+// share one registry; the counters then aggregate across them.
+func NewEngineMetrics(reg *telemetry.Registry) *EngineMetrics {
+	return &EngineMetrics{
+		Steps:       reg.Counter("maya_engine_steps_total", "control-loop Decide calls"),
+		Saturations: reg.Counter("maya_engine_saturated_steps_total", "steps with a saturated controller input"),
+		QuantClips:  reg.Counter("maya_engine_quant_clips_total", "knob commands clamped at the actuator range edge"),
+		AbsErrorW:   reg.Histogram("maya_engine_abs_error_w", "per-step |mask target − measured power| in watts", telemetry.ExpBuckets(0.125, 2, 12)),
+		StateNorm:   reg.Gauge("maya_engine_state_norm", "L2 norm of the controller state"),
+	}
+}
+
+// SetFlight attaches a flight recorder (nil detaches). The engine resets
+// the recorder on Reset so record indices align with the run's steps.
+func (e *Engine) SetFlight(f *telemetry.FlightRecorder) { e.flight = f }
+
+// Flight returns the attached flight recorder, if any.
+func (e *Engine) Flight() *telemetry.FlightRecorder { return e.flight }
+
+// SetMetrics attaches aggregate metrics (nil detaches).
+func (e *Engine) SetMetrics(m *EngineMetrics) { e.metrics = m }
 
 // NewEngine assembles an engine from a synthesized controller (the caller
 // keeps ownership; pass a Clone for concurrent runs), a mask generator, and
@@ -91,6 +137,9 @@ func (e *Engine) Reset(seed uint64) {
 	e.Targets = e.Targets[:0]
 	e.DecideTime = 0
 	e.Steps = 0
+	if e.flight != nil {
+		e.flight.Reset()
+	}
 }
 
 // Decide implements sim.Policy: one Maya wake-up.
@@ -167,7 +216,40 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 			uq[j] += e.qdither.Uniform(-0.5, 0.5) * steps[j]
 		}
 	}
-	d, idle, b := e.knobs.FromNorms(uq)
+	d, idle, b, clipped := e.knobs.FromNormsInfo(uq)
+
+	if e.metrics != nil {
+		e.metrics.Steps.Inc()
+		if e.ctl.Saturated() {
+			e.metrics.Saturations.Inc()
+		}
+		for _, c := range clipped {
+			if c {
+				e.metrics.QuantClips.Inc()
+			}
+		}
+		if step > 0 {
+			err := target + ditherW - powerW
+			if err < 0 {
+				err = -err
+			}
+			e.metrics.AbsErrorW.Observe(err)
+		}
+		e.metrics.StateNorm.Set(e.ctl.StateNorm())
+	}
+	if e.flight != nil {
+		e.flight.Record(telemetry.FlightRecord{
+			Step:      step,
+			TargetW:   target + ditherW,
+			MeasuredW: powerW,
+			ErrorW:    target + ditherW - powerW,
+			U:         uq,
+			Applied:   [3]float64{d, idle, b},
+			Saturated: e.ctl.Saturated(),
+			Clipped:   clipped,
+			StateNorm: e.ctl.StateNorm(),
+		})
+	}
 
 	e.DecideTime += time.Since(start)
 	e.Steps++

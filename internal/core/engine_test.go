@@ -9,6 +9,7 @@ import (
 	"github.com/maya-defense/maya/internal/mask"
 	"github.com/maya-defense/maya/internal/signal"
 	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/telemetry"
 	"github.com/maya-defense/maya/internal/workload"
 )
 
@@ -158,6 +159,95 @@ func TestEngineTelemetry(t *testing.T) {
 	perStep := eng.DecideTime / 100
 	if perStep.Microseconds() > 100 {
 		t.Fatalf("Decide too slow: %v per step", perStep)
+	}
+}
+
+func TestFlightAndMetricsNeverPerturbDecisions(t *testing.T) {
+	// The observability contract: attaching a flight recorder and metrics
+	// must leave every decision bit-for-bit identical to an uninstrumented
+	// engine with the same seed.
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	r := readings(400)
+
+	run := func(instrument bool) ([]sim.Inputs, *telemetry.FlightRecorder) {
+		eng := NewGSEngine(d, cfg, 20, 42)
+		var flight *telemetry.FlightRecorder
+		if instrument {
+			reg := telemetry.NewRegistry()
+			eng.SetMetrics(NewEngineMetrics(reg))
+			flight = telemetry.NewFlightRecorder(len(r))
+			eng.SetFlight(flight)
+		}
+		eng.Reset(42)
+		out := make([]sim.Inputs, len(r))
+		for i, pw := range r {
+			out[i] = eng.Decide(i, pw)
+		}
+		return out, flight
+	}
+
+	plain, _ := run(false)
+	instrumented, flight := run(true)
+	for i := range plain {
+		if plain[i] != instrumented[i] {
+			t.Fatalf("step %d: instrumented decision %+v differs from plain %+v", i, instrumented[i], plain[i])
+		}
+	}
+
+	// Flight sanity: one record per Decide, indices aligned, applied levels
+	// matching the returned inputs.
+	if int(flight.Total()) != len(r) || flight.Dropped() != 0 {
+		t.Fatalf("flight total=%d dropped=%d, want %d/0", flight.Total(), flight.Dropped(), len(r))
+	}
+	snap := flight.Snapshot()
+	for i, fr := range snap {
+		if fr.Step != i {
+			t.Fatalf("flight record %d has step %d", i, fr.Step)
+		}
+		if fr.MeasuredW != r[i] {
+			t.Fatalf("record %d measured %g, fed %g", i, fr.MeasuredW, r[i])
+		}
+		if got := (sim.Inputs{FreqGHz: fr.Applied[0], Idle: fr.Applied[1], Balloon: fr.Applied[2]}); got != plain[i] {
+			t.Fatalf("record %d applied %+v, decision was %+v", i, got, plain[i])
+		}
+		if fr.ErrorW != fr.TargetW-fr.MeasuredW {
+			t.Fatalf("record %d error %g != target−measured %g", i, fr.ErrorW, fr.TargetW-fr.MeasuredW)
+		}
+	}
+
+	// Flight traces are deterministic: a second instrumented run produces an
+	// identical trace.
+	_, flight2 := run(true)
+	snap2 := flight2.Snapshot()
+	for i := range snap {
+		if snap[i] != snap2[i] {
+			t.Fatalf("flight trace not reproducible at record %d", i)
+		}
+	}
+}
+
+func TestEngineMetricsCounts(t *testing.T) {
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	eng := NewGSEngine(d, cfg, 20, 8)
+	reg := telemetry.NewRegistry()
+	em := NewEngineMetrics(reg)
+	eng.SetMetrics(em)
+	eng.Reset(8)
+	const steps = 200
+	for i := 0; i < steps; i++ {
+		eng.Decide(i, 15)
+	}
+	if got := em.Steps.Value(); got != steps {
+		t.Fatalf("steps counter = %d, want %d", got, steps)
+	}
+	// Step 0 is excluded from the error histogram (no sensor reading yet).
+	if got := em.AbsErrorW.Count(); got != steps-1 {
+		t.Fatalf("error histogram count = %d, want %d", got, steps-1)
+	}
+	if n := em.StateNorm.Value(); n <= 0 || math.IsNaN(n) {
+		t.Fatalf("state norm gauge %g", n)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"github.com/maya-defense/maya/internal/runner"
 	"github.com/maya-defense/maya/internal/signal"
 	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/telemetry"
 	"github.com/maya-defense/maya/internal/trace"
 	"github.com/maya-defense/maya/internal/workload"
 )
@@ -107,6 +108,40 @@ type CollectSpec struct {
 	// Results are identical for every worker count: each run's seeds are a
 	// pure function of (Seed, label, run).
 	Workers int
+	// Metrics, when non-nil, receives a per-run summary of every recorded
+	// execution. The summaries are recorded in submission order after the
+	// parallel fan-out completes, so their content is deterministic for a
+	// fixed spec (everything observed is simulated-domain data).
+	Metrics *CollectMetrics
+	// SensorMetrics, when non-nil, instruments every run's attacker-side
+	// sensor (the runs share the instance; counters aggregate).
+	SensorMetrics *sim.SensorMetrics
+	// PoolMetrics, when non-nil, instruments the collection's worker pool.
+	PoolMetrics *runner.Metrics
+}
+
+// CollectMetrics aggregates per-run summaries of a collection sweep.
+type CollectMetrics struct {
+	// Runs counts recorded executions; Finished those that completed their
+	// workload within the recording window.
+	Runs     *telemetry.Counter
+	Finished *telemetry.Counter
+	// RunSeconds, EnergyJ, and AvgPowerW observe each run's simulated
+	// duration, energy, and mean true power.
+	RunSeconds *telemetry.Histogram
+	EnergyJ    *telemetry.Histogram
+	AvgPowerW  *telemetry.Histogram
+}
+
+// NewCollectMetrics registers the collection instruments in reg.
+func NewCollectMetrics(reg *telemetry.Registry) *CollectMetrics {
+	return &CollectMetrics{
+		Runs:       reg.Counter("collect_runs_total", "recorded executions"),
+		Finished:   reg.Counter("collect_runs_finished_total", "runs whose workload completed in the window"),
+		RunSeconds: reg.Histogram("collect_run_seconds", "simulated seconds per run", telemetry.ExpBuckets(0.25, 2, 12)),
+		EnergyJ:    reg.Histogram("collect_run_energy_j", "true core energy per run", telemetry.ExpBuckets(1, 2, 14)),
+		AvgPowerW:  reg.Histogram("collect_run_avg_power_w", "mean true core power per run", telemetry.LinearBuckets(5, 5, 40)),
+	}
 }
 
 // Collect runs the experiment and returns the attacker's dataset along with
@@ -136,7 +171,7 @@ func Collect(spec CollectSpec) (*trace.Dataset, []RunStats) {
 	// seeds from (Seed, label, run) below, so the runner's stream is unused
 	// and results are byte-identical at any worker count.
 	n := len(spec.Classes) * spec.RunsPerClass
-	results, _ := runner.MapN(context.Background(), runner.Options{Workers: spec.Workers}, n,
+	results, _ := runner.MapN(context.Background(), runner.Options{Workers: spec.Workers, Metrics: spec.PoolMetrics}, n,
 		func(_ context.Context, i int, _ *rng.Stream) (oneResult, error) {
 			return runOne(spec, i/spec.RunsPerClass, i%spec.RunsPerClass), nil
 		})
@@ -146,6 +181,15 @@ func Collect(spec CollectSpec) (*trace.Dataset, []RunStats) {
 	for i, r := range results {
 		ds.Add(i/spec.RunsPerClass, periodMS, r.samples)
 		stats = append(stats, r.stats)
+		if m := spec.Metrics; m != nil {
+			m.Runs.Inc()
+			if r.stats.Finished {
+				m.Finished.Inc()
+			}
+			m.RunSeconds.Observe(r.stats.Seconds)
+			m.EnergyJ.Observe(r.stats.EnergyJ)
+			m.AvgPowerW.Observe(r.stats.AvgPowerW)
+		}
 	}
 	return ds, stats
 }
@@ -167,9 +211,13 @@ func runOne(spec CollectSpec, label, run int) oneResult {
 
 	var sensor sim.PowerSensor
 	if spec.Outlet {
-		sensor = sim.NewOutletSensor(spec.Cfg, base+4)
+		s := sim.NewOutletSensor(spec.Cfg, base+4)
+		s.Metrics = spec.SensorMetrics
+		sensor = s
 	} else {
-		sensor = sim.NewRAPLSensor(m)
+		s := sim.NewRAPLSensor(m)
+		s.Metrics = spec.SensorMetrics
+		sensor = s
 	}
 	att := &sim.Sampler{Sensor: sensor, PeriodTicks: spec.AttackPeriodTicks}
 	res := sim.Run(m, w, pol, sim.RunSpec{

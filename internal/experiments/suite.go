@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"regexp"
+	"strings"
 	"time"
 
 	"github.com/maya-defense/maya/internal/rng"
 	"github.com/maya-defense/maya/internal/runner"
 	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/telemetry"
 )
 
 // SuiteEntry is one experiment of the full evaluation sweep.
@@ -118,12 +120,29 @@ func RunSuite(ctx context.Context, entries []SuiteEntry, sc Scale, seed uint64, 
 	return outs
 }
 
+// ReportOptions selects the opt-in report sections appended after the
+// deterministic experiment body.
+type ReportOptions struct {
+	// Timing appends the per-job wall-clock/allocation accounting section
+	// (nondeterministic run to run).
+	Timing bool
+	// Telemetry, when non-nil, appends the registry's instruments as a
+	// section (Prometheus text exposition; nondeterministic where the
+	// instruments record wall-clock quantities).
+	Telemetry *telemetry.Registry
+}
+
 // WriteReport renders outcomes as the EXPERIMENTS.md-style report. The body
 // is deterministic — no timestamps or wall-clock values — so a sweep's
 // output is byte-identical for any worker count and can be diffed across
 // runs. With timing set, a (nondeterministic) accounting section listing
 // per-job wall-clock and allocation volume is appended.
 func WriteReport(w io.Writer, sc Scale, seed uint64, outs []SuiteOutcome, timing bool) error {
+	return WriteReportOpts(w, sc, seed, outs, ReportOptions{Timing: timing})
+}
+
+// WriteReportOpts is WriteReport with the full section selection.
+func WriteReportOpts(w io.Writer, sc Scale, seed uint64, outs []SuiteOutcome, opts ReportOptions) error {
 	if _, err := fmt.Fprintf(w, "# Maya experiments (scale=%s, seed=%d)\n\nGenerated by cmd/experiments.\n\n", sc.Name, seed); err != nil {
 		return err
 	}
@@ -138,12 +157,26 @@ func WriteReport(w io.Writer, sc Scale, seed uint64, outs []SuiteOutcome, timing
 			return err
 		}
 	}
-	if timing {
+	if opts.Timing {
 		if _, err := fmt.Fprintf(w, "## Timing\n\n```\n%s```\n", TimingSummary(outs)); err != nil {
 			return err
 		}
 	}
+	if opts.Telemetry != nil {
+		if _, err := fmt.Fprintf(w, "## Telemetry\n\n```\n%s```\n", TelemetryReport(opts.Telemetry)); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// TelemetryReport renders the registry for the report's telemetry section:
+// the Prometheus text exposition of every registered instrument.
+func TelemetryReport(reg *telemetry.Registry) string {
+	var b strings.Builder
+	// The registry writes to a strings.Builder, which cannot fail.
+	_ = reg.WriteProm(&b)
+	return b.String()
 }
 
 // TimingSummary renders the per-job accounting table (wall-clock and

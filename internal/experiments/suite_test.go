@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/maya-defense/maya/internal/runner"
+	"github.com/maya-defense/maya/internal/telemetry"
 )
 
 func TestSuiteCoversAllEntriesOnce(t *testing.T) {
@@ -64,6 +65,58 @@ func TestReportIdenticalAcrossWorkerCounts(t *testing.T) {
 		if par := render(workers); !bytes.Equal(serial, par) {
 			t.Fatalf("report differs between 1 and %d workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
 				workers, serial, par)
+		}
+	}
+}
+
+// TestReportIdenticalWithTelemetryAttached is the PR's acceptance bar: for a
+// fixed seed, pool instrumentation must not change a single byte of the
+// report body.
+func TestReportIdenticalWithTelemetryAttached(t *testing.T) {
+	sc := tiny()
+	entries := FilterSuite(Suite(), regexp.MustCompile(`^(fig3|fig4|table1)$`))
+	render := func(reg *telemetry.Registry) []byte {
+		opts := runner.Options{Workers: 4}
+		if reg != nil {
+			opts.Metrics = runner.NewMetrics(reg)
+		}
+		outs := RunSuite(context.Background(), entries, sc, 7, opts)
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, sc, 7, outs, false); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	plain := render(nil)
+	reg := telemetry.NewRegistry()
+	instrumented := render(reg)
+	if !bytes.Equal(plain, instrumented) {
+		t.Fatalf("report differs with telemetry attached:\n--- plain ---\n%s\n--- instrumented ---\n%s", plain, instrumented)
+	}
+	// The registry did record the sweep.
+	var started float64
+	for _, m := range reg.Snapshot() {
+		if m.Name == "runner_jobs_started_total" {
+			started = m.Value
+		}
+	}
+	if started != 3 {
+		t.Fatalf("runner_jobs_started_total = %g, want 3", started)
+	}
+}
+
+func TestWriteReportOptsTelemetrySection(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("demo_total", "demo").Add(5)
+	outs := []SuiteOutcome{{Name: "broken", Err: context.DeadlineExceeded}}
+	var buf bytes.Buffer
+	if err := WriteReportOpts(&buf, tiny(), 1, outs, ReportOptions{Telemetry: reg}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"## Telemetry", "demo_total 5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
 		}
 	}
 }

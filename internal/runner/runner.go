@@ -19,6 +19,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/telemetry"
 )
 
 // Options configures a pool invocation.
@@ -45,6 +47,49 @@ type Options struct {
 	// microsecond-sized ones, and under concurrency the delta attributes
 	// other workers' allocations to the job, so it is an upper bound.
 	AllocStats bool
+	// Metrics, when non-nil, instruments the pool (see NewMetrics).
+	// Instrumentation never changes scheduling or results.
+	Metrics *Metrics
+}
+
+// Metrics instruments a pool: job lifecycle counters, queue-wait and
+// run-time distributions, and the in-flight depth. One instance may be
+// shared by several Run invocations (a suite and its nested collection
+// sweeps); the counters then aggregate across pools.
+type Metrics struct {
+	// JobsStarted / JobsDone count jobs handed to a worker and finished
+	// (including failures); Cancelled counts jobs never started because the
+	// sweep's context ended first.
+	JobsStarted *telemetry.Counter
+	JobsDone    *telemetry.Counter
+	Cancelled   *telemetry.Counter
+	// Panics counts jobs that panicked (captured as *PanicError); Timeouts
+	// counts jobs abandoned at Options.Timeout.
+	Panics   *telemetry.Counter
+	Timeouts *telemetry.Counter
+	// InFlight is the number of jobs currently executing.
+	InFlight *telemetry.Gauge
+	// QueueWait and RunTime observe, in seconds, how long each job waited
+	// for a worker and how long it ran.
+	QueueWait *telemetry.Histogram
+	RunTime   *telemetry.Histogram
+	// AllocBytes observes per-job allocation volume (needs AllocStats).
+	AllocBytes *telemetry.Histogram
+}
+
+// NewMetrics registers the pool instruments in reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		JobsStarted: reg.Counter("runner_jobs_started_total", "jobs handed to a worker"),
+		JobsDone:    reg.Counter("runner_jobs_done_total", "jobs finished (including failures)"),
+		Cancelled:   reg.Counter("runner_jobs_cancelled_total", "jobs never started because the sweep was cancelled"),
+		Panics:      reg.Counter("runner_job_panics_total", "jobs that panicked (captured by the pool)"),
+		Timeouts:    reg.Counter("runner_job_timeouts_total", "jobs abandoned at the per-job timeout"),
+		InFlight:    reg.Gauge("runner_jobs_in_flight", "jobs currently executing"),
+		QueueWait:   reg.Histogram("runner_job_queue_wait_seconds", "wait from pool start to job start", telemetry.DurationBuckets()),
+		RunTime:     reg.Histogram("runner_job_run_seconds", "job wall-clock run time", telemetry.DurationBuckets()),
+		AllocBytes:  reg.Histogram("runner_job_alloc_bytes", "per-job heap allocation volume", telemetry.ExpBuckets(1024, 8, 10)),
+	}
 }
 
 // Job is one named unit of work.
@@ -104,6 +149,7 @@ func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) []Result[T] {
 		workers = len(jobs)
 	}
 
+	poolStart := time.Now()
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -111,7 +157,7 @@ func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) []Result[T] {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				runJob(ctx, opts, i, jobs[i], &results[i])
+				runJob(ctx, opts, poolStart, i, jobs[i], &results[i])
 			}
 		}()
 	}
@@ -131,6 +177,9 @@ feed:
 		for i := range results {
 			if results[i].Wall == 0 && results[i].Err == nil {
 				results[i].Err = err
+				if opts.Metrics != nil {
+					opts.Metrics.Cancelled.Inc()
+				}
 			}
 		}
 	}
@@ -147,7 +196,27 @@ type jobOutcome[T any] struct {
 
 // runJob executes one job with panic capture and the per-job timeout,
 // writing into *out (each index is owned by exactly one worker).
-func runJob[T any](ctx context.Context, opts Options, i int, job Job[T], out *Result[T]) {
+func runJob[T any](ctx context.Context, opts Options, poolStart time.Time, i int, job Job[T], out *Result[T]) {
+	if m := opts.Metrics; m != nil {
+		m.JobsStarted.Inc()
+		m.InFlight.Add(1)
+		m.QueueWait.Observe(time.Since(poolStart).Seconds())
+		defer func() {
+			m.InFlight.Add(-1)
+			m.JobsDone.Inc()
+			m.RunTime.Observe(out.Wall.Seconds())
+			if out.TimedOut {
+				m.Timeouts.Inc()
+			}
+			var pe *PanicError
+			if errors.As(out.Err, &pe) {
+				m.Panics.Inc()
+			}
+			if opts.AllocStats && out.Err == nil {
+				m.AllocBytes.Observe(float64(out.AllocBytes))
+			}
+		}()
+	}
 	jctx := ctx
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc

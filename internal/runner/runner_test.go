@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/telemetry"
 )
 
 // drawSum consumes the job's private stream: the value depends only on the
@@ -180,6 +181,84 @@ func TestAllocAccounting(t *testing.T) {
 	results := Run(context.Background(), Options{Workers: 1, AllocStats: true}, jobs)
 	if results[0].AllocBytes < 1<<20 {
 		t.Fatalf("alloc accounting missed the 1 MiB allocation: %d bytes", results[0].AllocBytes)
+	}
+}
+
+// TestPoolMetrics checks the pool's telemetry wiring: start/done/panic/timeout
+// counters, the in-flight gauge returning to zero, and the timing histograms.
+func TestPoolMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	jobs := []Job[int]{
+		{Name: "ok", Run: func(context.Context, *rng.Stream) (int, error) { return 1, nil }},
+		{Name: "boom", Run: func(context.Context, *rng.Stream) (int, error) { panic("kaboom") }},
+		{Name: "slow", Run: func(ctx context.Context, _ *rng.Stream) (int, error) {
+			select {
+			case <-time.After(5 * time.Second):
+				return 2, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}},
+	}
+	Run(context.Background(), Options{Workers: 2, Timeout: 20 * time.Millisecond, Metrics: m}, jobs)
+
+	if got := m.JobsStarted.Value(); got != 3 {
+		t.Fatalf("jobs started = %d, want 3", got)
+	}
+	if got := m.JobsDone.Value(); got != 3 {
+		t.Fatalf("jobs done = %d, want 3", got)
+	}
+	if got := m.Panics.Value(); got != 1 {
+		t.Fatalf("panic counter = %d, want 1", got)
+	}
+	if got := m.Timeouts.Value(); got != 1 {
+		t.Fatalf("timeout counter = %d, want 1", got)
+	}
+	if got := m.InFlight.Value(); got != 0 {
+		t.Fatalf("in-flight gauge = %g after pool drained, want 0", got)
+	}
+	if got := m.RunTime.Count(); got != 3 {
+		t.Fatalf("run-time histogram count = %d, want 3", got)
+	}
+	if got := m.QueueWait.Count(); got != 3 {
+		t.Fatalf("queue-wait histogram count = %d, want 3", got)
+	}
+
+	// The panic counter must be visible through the registry exposition the
+	// telemetry report renders.
+	var found bool
+	for _, metric := range reg.Snapshot() {
+		if metric.Name == "runner_job_panics_total" && metric.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("runner_job_panics_total not visible in registry snapshot")
+	}
+}
+
+func TestPoolMetricsCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		jobs[i] = Job[int]{Name: fmt.Sprintf("j%d", i), Run: func(context.Context, *rng.Stream) (int, error) { return 0, nil }}
+	}
+	Run(ctx, Options{Workers: 2, Metrics: m}, jobs)
+	// The feed's select may still hand a few jobs to ready workers, but every
+	// job must be accounted for exactly once: started or cancelled.
+	started, cancelled := m.JobsStarted.Value(), m.Cancelled.Value()
+	if started+cancelled != 8 {
+		t.Fatalf("started=%d + cancelled=%d != 8 jobs", started, cancelled)
+	}
+	if started == 8 {
+		t.Skip("all jobs fed despite cancelled context (legal select race); nothing to assert")
+	}
+	if cancelled == 0 {
+		t.Fatal("cancelled counter never incremented")
 	}
 }
 

@@ -1,0 +1,55 @@
+package telemetry
+
+import "testing"
+
+// The TelemetryHotPath benchmarks guard the subsystem's core contract: CI
+// runs them with -benchmem and fails the build if any record operation on
+// the hot path allocates (scripts/bench.sh -z TelemetryHotPath).
+
+func BenchmarkTelemetryHotPathCounter(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkTelemetryHotPathGauge(b *testing.B) {
+	reg := NewRegistry()
+	g := reg.Gauge("bench_gauge", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkTelemetryHotPathHistogram(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Histogram("bench_hist", "", DurationBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-4)
+	}
+}
+
+func BenchmarkTelemetryHotPathFlightAppend(b *testing.B) {
+	f := NewFlightRecorder(DefaultFlightCapacity)
+	r := FlightRecord{
+		TargetW:   20,
+		MeasuredW: 19.5,
+		ErrorW:    0.5,
+		U:         [3]float64{0.25, 0.5, 0.75},
+		Applied:   [3]float64{1.6, 0.24, 0.8},
+		StateNorm: 1.2,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step = i
+		f.Record(r)
+	}
+}

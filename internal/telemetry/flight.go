@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// FlightRecord is one control-loop tick as the flight recorder stores it:
+// what the mask asked for, what the sensor measured, what the controller
+// commanded, and what the actuators actually applied. Every field is
+// simulated-domain data, so a flight trace is deterministic for a fixed
+// seed and can be diffed across runs.
+type FlightRecord struct {
+	// Step is the control-period index (counting warmup; see
+	// sim.RunResult.FirstStep for alignment with recorded samples).
+	Step int `json:"step"`
+	// TargetW is the full mask target for the period (closed-loop component
+	// plus any open-loop high-frequency component).
+	TargetW float64 `json:"target_w"`
+	// MeasuredW is the defense sensor's reading the controller consumed
+	// (zero on the very first step, before any reading exists).
+	MeasuredW float64 `json:"measured_w"`
+	// ErrorW is the tracking error TargetW − MeasuredW.
+	ErrorW float64 `json:"error_w"`
+	// U is the commanded normalized input vector [dvfs, idle, balloon]
+	// after dither injection, before quantization.
+	U [3]float64 `json:"u"`
+	// Applied holds the applied physical knob settings [GHz, idle fraction,
+	// balloon duty] after quantization.
+	Applied [3]float64 `json:"applied"`
+	// Saturated reports that the controller clipped at least one raw input
+	// to [0,1] this step (actuator authority limit).
+	Saturated bool `json:"saturated,omitempty"`
+	// Clipped flags, per knob, that the commanded normalized value lay
+	// outside [0,1] when quantized (quantization-clip event).
+	Clipped [3]bool `json:"clipped,omitempty"`
+	// StateNorm is the L2 norm of the controller's internal state.
+	StateNorm float64 `json:"state_norm"`
+}
+
+// FlightRecorder keeps the last capacity control-loop records in a ring
+// buffer. Record is allocation-free; Flush spills everything not yet
+// written to an io.Writer as JSONL, so a caller that flushes often enough
+// gets the full trace while an unattended recorder stays bounded.
+//
+// A recorder belongs to one control loop: Record and Flush must not be
+// called concurrently (each engine owns its recorder, like its controller).
+type FlightRecorder struct {
+	ring []FlightRecord
+	// total is the number of records ever appended; the ring holds records
+	// [total-len(ring), total).
+	total uint64
+	// flushed is the count of records already spilled by Flush.
+	flushed uint64
+	// dropped counts records overwritten before any Flush saw them.
+	dropped uint64
+}
+
+// DefaultFlightCapacity bounds an unattended recorder: ~82 s of control
+// history at the paper's 20 ms period.
+const DefaultFlightCapacity = 4096
+
+// NewFlightRecorder returns a recorder holding the last capacity records
+// (capacity <= 0 selects DefaultFlightCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{ring: make([]FlightRecord, capacity)}
+}
+
+// Record appends one tick. It never allocates.
+func (f *FlightRecorder) Record(r FlightRecord) {
+	f.ring[f.total%uint64(len(f.ring))] = r
+	f.total++
+	if f.total-f.flushed > uint64(len(f.ring)) {
+		// The oldest unflushed record was just overwritten.
+		f.flushed++
+		f.dropped++
+	}
+}
+
+// Len returns how many records are currently held (≤ capacity).
+func (f *FlightRecorder) Len() int {
+	if f.total < uint64(len(f.ring)) {
+		return int(f.total)
+	}
+	return len(f.ring)
+}
+
+// Total returns how many records were ever appended.
+func (f *FlightRecorder) Total() uint64 { return f.total }
+
+// Dropped returns how many records were overwritten before being flushed.
+func (f *FlightRecorder) Dropped() uint64 { return f.dropped }
+
+// Reset clears the recorder for a new run (spill accounting included).
+func (f *FlightRecorder) Reset() {
+	f.total, f.flushed, f.dropped = 0, 0, 0
+}
+
+// Snapshot returns the held records in chronological order.
+func (f *FlightRecorder) Snapshot() []FlightRecord {
+	n := f.Len()
+	out := make([]FlightRecord, 0, n)
+	for i := f.total - uint64(n); i < f.total; i++ {
+		out = append(out, f.ring[i%uint64(len(f.ring))])
+	}
+	return out
+}
+
+// Flush writes every record not yet spilled to w as JSONL and marks it
+// spilled. Call it between runs (or periodically during long ones) to
+// capture the full trace beyond the ring's capacity.
+func (f *FlightRecorder) Flush(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for ; f.flushed < f.total; f.flushed++ {
+		if err := enc.Encode(f.ring[f.flushed%uint64(len(f.ring))]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxFlightLine bounds one JSONL line when reading a flight trace back.
+const maxFlightLine = 1 << 20
+
+// ReadFlight parses a JSONL flight trace written by Flush. Malformed lines
+// are tolerated (a recorder crash mid-write truncates the last line):
+// they are skipped and counted, never fatal. The error is non-nil only for
+// I/O-level failures.
+func ReadFlight(r io.Reader) (recs []FlightRecord, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxFlightLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec FlightRecord
+		if json.Unmarshal(line, &rec) != nil {
+			skipped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, skipped, fmt.Errorf("telemetry: reading flight trace: %w", err)
+	}
+	return recs, skipped, nil
+}

@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func rec(step int) FlightRecord {
+	return FlightRecord{
+		Step:      step,
+		TargetW:   20 + float64(step),
+		MeasuredW: 19.5 + float64(step),
+		ErrorW:    0.5,
+		U:         [3]float64{0.25, 0.5, 0.75},
+		Applied:   [3]float64{1.6, 0.24, 0.8},
+		Saturated: step%2 == 0,
+		Clipped:   [3]bool{false, step%3 == 0, false},
+		StateNorm: float64(step) / 10,
+	}
+}
+
+func TestFlightRingWraparound(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record(rec(i))
+	}
+	if f.Total() != 10 {
+		t.Fatalf("total = %d, want 10", f.Total())
+	}
+	if f.Len() != 4 {
+		t.Fatalf("len = %d, want 4", f.Len())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d records", len(snap))
+	}
+	for i, r := range snap {
+		if want := 6 + i; r.Step != want {
+			t.Fatalf("snapshot[%d].Step = %d, want %d", i, r.Step, want)
+		}
+	}
+}
+
+func TestFlightBelowCapacity(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(rec(0))
+	f.Record(rec(1))
+	if f.Len() != 2 || f.Total() != 2 || f.Dropped() != 0 {
+		t.Fatalf("len=%d total=%d dropped=%d", f.Len(), f.Total(), f.Dropped())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 2 || snap[0].Step != 0 || snap[1].Step != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestFlightFlushAndDropAccounting(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record(rec(i))
+	}
+	if f.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6 (ring 4, 10 records, no flush)", f.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := f.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := ReadFlight(&buf)
+	if err != nil || skipped != 0 {
+		t.Fatalf("read back: err=%v skipped=%d", err, skipped)
+	}
+	if len(recs) != 4 || recs[0].Step != 6 || recs[3].Step != 9 {
+		t.Fatalf("flushed records %+v", recs)
+	}
+	// A second flush with nothing new writes nothing.
+	buf.Reset()
+	if err := f.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("second flush wrote %q", buf.String())
+	}
+}
+
+// TestFlightPeriodicFlushCapturesFullTrace is the spill-to-disk contract: a
+// caller that flushes at least once per ring-full of records loses nothing.
+func TestFlightPeriodicFlushCapturesFullTrace(t *testing.T) {
+	f := NewFlightRecorder(4)
+	var buf bytes.Buffer
+	for i := 0; i < 21; i++ {
+		f.Record(rec(i))
+		if (i+1)%3 == 0 {
+			if err := f.Flush(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := f.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if f.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0 with periodic flushes", f.Dropped())
+	}
+	recs, skipped, err := ReadFlight(&buf)
+	if err != nil || skipped != 0 {
+		t.Fatalf("read back: err=%v skipped=%d", err, skipped)
+	}
+	if len(recs) != 21 {
+		t.Fatalf("got %d records, want 21", len(recs))
+	}
+	for i, r := range recs {
+		if r.Step != i {
+			t.Fatalf("recs[%d].Step = %d", i, r.Step)
+		}
+	}
+}
+
+func TestFlightRoundTrip(t *testing.T) {
+	f := NewFlightRecorder(16)
+	for i := 0; i < 5; i++ {
+		f.Record(rec(i))
+	}
+	var buf bytes.Buffer
+	if err := f.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := ReadFlight(&buf)
+	if err != nil || skipped != 0 {
+		t.Fatalf("err=%v skipped=%d", err, skipped)
+	}
+	want := f.Snapshot()
+	if len(recs) != len(want) {
+		t.Fatalf("count %d != %d", len(recs), len(want))
+	}
+	for i := range recs {
+		if recs[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestReadFlightToleratesMalformedLines(t *testing.T) {
+	input := strings.Join([]string{
+		`{"step":0,"target_w":20,"measured_w":19,"error_w":1,"u":[0,0,0],"applied":[0,0,0],"state_norm":0}`,
+		`this is not JSON`,
+		``,
+		`{"step":1,"target_w":21,"measured_w":20.5,"error_w":0.5,"u":[0,0,0],"applied":[0,0,0],"state_norm":0.1}`,
+		`{"step": 2, "truncated...`,
+	}, "\n")
+	recs, skipped, err := ReadFlight(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || skipped != 2 {
+		t.Fatalf("recs=%d skipped=%d, want 2/2", len(recs), skipped)
+	}
+	if recs[0].Step != 0 || recs[1].Step != 1 {
+		t.Fatalf("records %+v", recs)
+	}
+}
+
+func TestFlightReset(t *testing.T) {
+	f := NewFlightRecorder(2)
+	for i := 0; i < 5; i++ {
+		f.Record(rec(i))
+	}
+	f.Reset()
+	if f.Total() != 0 || f.Len() != 0 || f.Dropped() != 0 {
+		t.Fatalf("reset left total=%d len=%d dropped=%d", f.Total(), f.Len(), f.Dropped())
+	}
+	f.Record(rec(7))
+	if snap := f.Snapshot(); len(snap) != 1 || snap[0].Step != 7 {
+		t.Fatalf("post-reset snapshot %+v", snap)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	f := NewFlightRecorder(0)
+	if f.Len() != 0 || len(f.ring) != DefaultFlightCapacity {
+		t.Fatalf("default capacity = %d", len(f.ring))
+	}
+}

@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+// TestCounterConcurrent drives one counter from many goroutines; run under
+// -race this also proves the increment path is data-race free.
+func TestCounterConcurrent(t *testing.T) {
+	const goroutines, perG = 16, 10000
+	reg := NewRegistry()
+	c := reg.Counter("t_total", "test")
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %g, want 3.5", got)
+	}
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Fatalf("gauge = %g, want 2.25", got)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %g, want 0", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the `le` semantics: a value equal to a
+// bound lands in that bound's bucket, a value just above it in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.0001, 2, 2, 4, 4.0001, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 3, 1, 2} // (-inf,1], (1,2], (2,4], (4,+inf)
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if sum := h.Sum(); sum != 0.5+1+1.0001+2+2+4+4.0001+100 {
+		t.Fatalf("sum = %g", sum)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds should panic")
+		}
+	}()
+	newHistogram([]float64{1, 1})
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0, 2, 3)
+	if lin[0] != 0 || lin[1] != 2 || lin[2] != 4 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	exp := ExpBuckets(1, 2, 4)
+	if exp[3] != 8 {
+		t.Fatalf("ExpBuckets = %v", exp)
+	}
+	db := DurationBuckets()
+	for i := 1; i < len(db); i++ {
+		if db[i] <= db[i-1] {
+			t.Fatalf("DurationBuckets not increasing at %d: %v", i, db)
+		}
+	}
+}
+
+func TestRegistryIdempotentAndKindChecked(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "help")
+	b := reg.Counter("x_total", "other help ignored")
+	if a != b {
+		t.Fatal("re-registration must return the same counter")
+	}
+	h1 := reg.Histogram("h", "", []float64{1, 2})
+	h2 := reg.Histogram("h", "", []float64{9, 99}) // first bounds win
+	if h1 != h2 {
+		t.Fatal("re-registration must return the same histogram")
+	}
+	if h2.Bounds()[0] != 1 {
+		t.Fatalf("first registration's bounds must win, got %v", h2.Bounds())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch should panic")
+		}
+	}()
+	reg.Gauge("x_total", "")
+}
+
+func TestRegistrySnapshotAndReset(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "").Add(3)
+	reg.Gauge("a_gauge", "").Set(1.5)
+	reg.Histogram("c_hist", "", []float64{1}).Observe(0.5)
+
+	snap := reg.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(snap))
+	}
+	// Sorted by name.
+	if snap[0].Name != "a_gauge" || snap[1].Name != "b_total" || snap[2].Name != "c_hist" {
+		t.Fatalf("snapshot order: %s, %s, %s", snap[0].Name, snap[1].Name, snap[2].Name)
+	}
+	if snap[1].Value != 3 || snap[0].Value != 1.5 || snap[2].Count != 1 {
+		t.Fatalf("snapshot values wrong: %+v", snap)
+	}
+
+	reg.Reset()
+	for _, m := range reg.Snapshot() {
+		if m.Value != 0 || m.Count != 0 || m.Sum != 0 {
+			t.Fatalf("reset left %+v", m)
+		}
+	}
+}
+
+// TestWritePromGolden pins the exposition format byte for byte.
+func TestWritePromGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("maya_steps_total", "control-loop steps").Add(7)
+	reg.Gauge("pool_depth", "jobs in flight").Set(2.5)
+	h := reg.Histogram("err_w", "tracking error", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP err_w tracking error`,
+		`# TYPE err_w histogram`,
+		`err_w_bucket{le="0.5"} 1`,
+		`err_w_bucket{le="1"} 2`,
+		`err_w_bucket{le="+Inf"} 3`,
+		`err_w_sum 4`,
+		`err_w_count 3`,
+		`# HELP maya_steps_total control-loop steps`,
+		`# TYPE maya_steps_total counter`,
+		`maya_steps_total 7`,
+		`# HELP pool_depth jobs in flight`,
+		`# TYPE pool_depth gauge`,
+		`pool_depth 2.5`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "").Add(2)
+	reg.Histogram("h", "", []float64{1}).Observe(2)
+	var buf bytes.Buffer
+	if err := reg.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSONL lines, got %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], `"a_total"`) || !strings.Contains(lines[1], `"buckets"`) {
+		t.Fatalf("unexpected JSONL:\n%s", buf.String())
+	}
+}
+
+// TestHotPathZeroAlloc is the in-suite version of the CI benchmark gate:
+// none of the hot-path record operations may allocate.
+func TestHotPathZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h", "", DurationBuckets())
+	f := NewFlightRecorder(64)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter", func() { c.Inc() }},
+		{"gauge", func() { g.Set(1.5) }},
+		{"histogram", func() { h.Observe(0.01) }},
+		{"flight", func() { f.Record(FlightRecord{Step: 1, TargetW: 20}) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(1000, tc.fn); n != 0 {
+			t.Errorf("%s: %g allocs/op, want 0", tc.name, n)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+type entry struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry names and owns a set of instruments. Registration is idempotent:
+// asking twice for the same name (with the same kind) returns the same
+// instrument, so independent components can share metrics without
+// coordinating. Registration takes a lock and allocates; do it at setup and
+// keep the returned pointer for the hot path.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+func (r *Registry) lookup(name, help string, kind metricKind) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: %q registered as %s, requested as %s", name, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: kind}
+	r.entries[name] = e
+	return e
+}
+
+// Counter registers (or fetches) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.lookup(name, help, kindCounter)
+	if e.c == nil {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e := r.lookup(name, help, kindGauge)
+	if e.g == nil {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// Histogram registers (or fetches) a histogram with the given bucket upper
+// bounds (strictly increasing; an overflow bucket is implicit). The bounds
+// of the first registration win.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	e := r.lookup(name, help, kindHistogram)
+	if e.h == nil {
+		e.h = newHistogram(bounds)
+	}
+	return e.h
+}
+
+// Reset zeroes every registered instrument (snapshot-and-reset cycles
+// between experiment phases). Instruments stay registered.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		switch e.kind {
+		case kindCounter:
+			e.c.reset()
+		case kindGauge:
+			e.g.reset()
+		case kindHistogram:
+			e.h.reset()
+		}
+	}
+}
+
+// sorted returns the entries in name order (stable exposition).
+func (r *Registry) sorted() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Metric is one instrument's state in a Snapshot.
+type Metric struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Help string `json:"help,omitempty"`
+	// Value holds the counter count or gauge level.
+	Value float64 `json:"value,omitempty"`
+	// Histogram-only fields.
+	Sum     float64   `json:"sum,omitempty"`
+	Count   uint64    `json:"count,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every instrument's current state, sorted by name.
+func (r *Registry) Snapshot() []Metric {
+	var out []Metric
+	for _, e := range r.sorted() {
+		m := Metric{Name: e.name, Type: e.kind.String(), Help: e.help}
+		switch e.kind {
+		case kindCounter:
+			m.Value = float64(e.c.Value())
+		case kindGauge:
+			m.Value = e.g.Value()
+		case kindHistogram:
+			m.Sum = e.h.Sum()
+			m.Count = e.h.Count()
+			m.Bounds = e.h.Bounds()
+			m.Buckets = e.h.BucketCounts()
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE lines, cumulative `le` histogram buckets.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, e := range r.sorted() {
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
+			return err
+		}
+		switch e.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s %s\n", e.name, formatFloat(e.g.Value())); err != nil {
+				return err
+			}
+		case kindHistogram:
+			cum := uint64(0)
+			counts := e.h.BucketCounts()
+			for i, b := range e.h.Bounds() {
+				cum += counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, formatFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += counts[len(counts)-1]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", e.name, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", e.name, formatFloat(e.h.Sum()), e.name, e.h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSONL renders the registry as one JSON object per line (the same
+// shape as Snapshot's Metric), for machine-readable export next to the
+// flight recorder's trace files.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, m := range r.Snapshot() {
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

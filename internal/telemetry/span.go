@@ -1,0 +1,39 @@
+package telemetry
+
+import "time"
+
+// Span measures one timed region into a Histogram of seconds. It is a
+// value type, so starting and ending a span allocates nothing:
+//
+//	sp := telemetry.StartSpan(jobTime)
+//	... work ...
+//	sp.End()
+//
+// A Span with a nil histogram is a no-op, so instrumentation points can run
+// unconditionally whether or not telemetry is attached.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing into h (h may be nil).
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End records the elapsed seconds. Calling End on a zero Span is a no-op.
+func (s Span) End() {
+	if s.h != nil {
+		s.h.Observe(time.Since(s.start).Seconds())
+	}
+}
+
+// ObserveDuration records d into h in seconds (nil-safe).
+func ObserveDuration(h *Histogram, d time.Duration) {
+	if h != nil {
+		h.Observe(d.Seconds())
+	}
+}

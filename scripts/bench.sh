@@ -3,9 +3,22 @@
 # BENCH_<date>.txt (raw `go test` output) and BENCH_<date>.json (one object
 # per benchmark: name, ns/op, B/op, allocs/op, and any custom metrics).
 #
-# Usage: scripts/bench.sh [bench-regexp]   (default: all benchmarks)
+# Usage: scripts/bench.sh [-z] [bench-regexp]   (default: all benchmarks)
+#
+# With -z the script becomes a zero-allocation gate: after recording, it
+# fails if any matched benchmark reports allocs/op > 0. CI uses this to
+# enforce that the telemetry hot path (counter/gauge/histogram record and
+# flight-recorder append) never allocates:
+#
+#   scripts/bench.sh -z TelemetryHotPath
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+zero_alloc=0
+if [[ "${1:-}" == "-z" ]]; then
+    zero_alloc=1
+    shift
+fi
 
 pattern="${1:-.}"
 date="$(date -u +%Y%m%d)"
@@ -30,3 +43,22 @@ END { print "\n]" }
 ' "$txt" > "$json"
 
 echo "wrote $txt and $json" >&2
+
+if [[ "$zero_alloc" == 1 ]]; then
+    if ! grep -q '^Benchmark' "$txt"; then
+        echo "zero-alloc gate: no benchmark matched pattern '$pattern'" >&2
+        exit 1
+    fi
+    awk '
+    /^Benchmark/ {
+        for (i = 3; i < NF; i += 2) {
+            if ($(i + 1) == "allocs/op" && $i + 0 > 0) {
+                printf "zero-alloc gate: %s allocates (%s allocs/op)\n", $1, $i
+                bad = 1
+            }
+        }
+    }
+    END { exit bad }
+    ' "$txt" >&2 || { echo "zero-alloc gate FAILED" >&2; exit 1; }
+    echo "zero-alloc gate passed for pattern '$pattern'" >&2
+fi
