@@ -18,6 +18,12 @@
 // saturation/clip flags — and -metrics dumps the telemetry registry
 // (Prometheus text format) after the run. Flight traces contain only
 // simulated-domain values, so they are byte-identical for a fixed seed.
+//
+// -faults injects deterministic substrate faults (sensor glitches, RAPL
+// counter wraparound, stuck actuators, missed deadlines) from a canned plan
+// name or a plan JSON file, and enables the engine's measurement guard for
+// Maya designs. Start from `mayactl -dump-fault-plan kitchen-sink` to write
+// your own plan.
 package main
 
 import (
@@ -25,12 +31,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"github.com/maya-defense/maya/internal/core"
 	"github.com/maya-defense/maya/internal/defense"
+	"github.com/maya-defense/maya/internal/fault"
 	"github.com/maya-defense/maya/internal/plot"
 	"github.com/maya-defense/maya/internal/signal"
 	"github.com/maya-defense/maya/internal/sim"
@@ -108,6 +116,8 @@ func main() {
 	stopOnFinish := flag.Bool("stop-on-finish", false, "end when the workload completes")
 	showPlot := flag.Bool("plot", false, "render the trace (and mask overlay) as ASCII")
 	dumpMachine := flag.String("dump-machine", "", "print a machine preset as JSON and exit")
+	faultsFlag := flag.String("faults", "", "inject faults from a canned plan ("+strings.Join(fault.PlanNames(), ", ")+") or a plan JSON path")
+	dumpFaultPlan := flag.String("dump-fault-plan", "", "print a canned fault plan as JSON and exit")
 	list := flag.Bool("list", false, "list the built-in workloads and exit")
 	flag.Parse()
 
@@ -129,6 +139,17 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := cfg.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *dumpFaultPlan != "" {
+		plan, ok := fault.PlanByName(*dumpFaultPlan)
+		if !ok {
+			log.Fatalf("unknown fault plan %q (have %s)", *dumpFaultPlan, strings.Join(fault.PlanNames(), ", "))
+		}
+		if err := plan.WriteJSON(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -161,11 +182,14 @@ func main() {
 	m := sim.NewMachine(cfg, *seed)
 	w.Reset(*seed + 1)
 	pol := defense.NewDesign(kind, cfg, art, 20).Policy(*seed + 2)
+	eng, _ := pol.(*core.Engine)
 
 	reg := telemetry.NewRegistry()
+	var em *core.EngineMetrics
 	var flight *telemetry.FlightRecorder
-	if eng, ok := pol.(*core.Engine); ok {
-		eng.SetMetrics(core.NewEngineMetrics(reg))
+	if eng != nil {
+		em = core.NewEngineMetrics(reg)
+		eng.SetMetrics(em)
 		if *flightPath != "" {
 			// Size the ring to the whole run (warmup included) so the spill
 			// at the end is the complete trace.
@@ -177,15 +201,37 @@ func main() {
 		log.Fatalf("-flight needs a Maya design (constant or gs), not %q", *defName)
 	}
 
-	res := sim.Run(m, w, pol, sim.RunSpec{
+	spec := sim.RunSpec{
 		ControlPeriodTicks: 20,
 		MaxTicks:           int(*seconds * 1000),
 		WarmupTicks:        2000,
 		StopOnFinish:       *stopOnFinish,
-	})
+	}
+
+	var inj *fault.Injector
+	if *faultsFlag != "" {
+		plan, err := loadFaultPlan(*faultsFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj, err = fault.New(plan, *seed+3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj.SetMetrics(fault.NewMetrics(reg))
+		inj.Attach(m)
+		spec.DefenseSensor = inj.Sensor(sim.NewRAPLSensor(m))
+		pol = inj.Policy(pol)
+		if eng != nil {
+			guard := core.DefaultGuard(cfg)
+			eng.SetGuard(&guard)
+		}
+	}
+
+	res := sim.Run(m, w, pol, spec)
 
 	var targets []float64
-	if eng, ok := pol.(*core.Engine); ok {
+	if eng != nil {
 		t := eng.MaskTargets()
 		if res.FirstStep < len(t) {
 			targets = t[res.FirstStep:]
@@ -203,28 +249,40 @@ func main() {
 		fmt.Printf("finished:  no (still running at cutoff)\n")
 	}
 	fmt.Printf("energy:    %.1f J (avg %.1f W)\n", res.EnergyJ, res.EnergyJ/res.Seconds)
+	samples := res.DefenseSamples
+	if inj != nil {
+		// Raw faulty readings can be NaN/Inf; keep the summary stats finite.
+		samples = finiteOnly(samples)
+	}
 	if len(targets) > 0 {
-		n := len(res.DefenseSamples)
+		n := len(samples)
 		if len(targets) < n {
 			n = len(targets)
 		}
 		fmt.Printf("tracking:  MAD %.2f W over %d periods\n",
-			signal.MeanAbsDeviation(res.DefenseSamples[:n], targets[:n]), n)
+			signal.MeanAbsDeviation(samples[:n], targets[:n]), n)
 	}
-	b := signal.Box(res.DefenseSamples)
+	b := signal.Box(samples)
 	fmt.Printf("power:     median %.1f W, IQR %.1f W, range [%.1f, %.1f] W\n",
 		b.Median, b.IQR(), b.Min, b.Max)
+	if inj != nil {
+		fmt.Printf("faults:    plan %s — injected %s\n", inj.Plan().Name, inj.Stats())
+		if em != nil {
+			fmt.Printf("guard:     %d rejects, %d hold-exhausted, %d state re-inits\n",
+				em.GlitchRejects.Value(), em.HoldExhausted.Value(), em.StateReinits.Value())
+		}
+	}
 
 	if *showPlot {
 		fmt.Println("\npower trace ('#'):")
 		if len(targets) > 0 {
 			fmt.Println("overlay with mask target ('1' power only, '2' target only, '#' both):")
-			fmt.Print(plot.Overlay(res.DefenseSamples, targets, 100, 10))
+			fmt.Print(plot.Overlay(samples, targets, 100, 10))
 		} else {
-			fmt.Print(plot.Line(res.DefenseSamples, 100, 10))
+			fmt.Print(plot.Line(samples, 100, 10))
 		}
 		fmt.Println("\npower distribution:")
-		fmt.Print(plot.Histogram(res.DefenseSamples, 12, 50))
+		fmt.Print(plot.Histogram(samples, 12, 50))
 	}
 
 	if *csvPath != "" {
@@ -254,6 +312,33 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// finiteOnly drops NaN/±Inf samples (injected sensor faults) so the
+// printed summary statistics stay meaningful.
+func finiteOnly(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// loadFaultPlan resolves -faults: a canned plan name first, otherwise a
+// path to a plan JSON file.
+func loadFaultPlan(arg string) (fault.Plan, error) {
+	if plan, ok := fault.PlanByName(arg); ok {
+		return plan, nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return fault.Plan{}, fmt.Errorf("unknown fault plan %q (have %s, or pass a plan JSON path)",
+			arg, strings.Join(fault.PlanNames(), ", "))
+	}
+	defer f.Close()
+	return fault.ReadPlanJSON(f)
 }
 
 func writeCSV(path string, res sim.RunResult, targets []float64) error {

@@ -41,6 +41,15 @@ type Controller struct {
 	z     float64
 	uPrev []float64 // deviation coordinates
 
+	// zClamp, when positive, bounds the error integrator to |z| <= zClamp
+	// (anti-windup hard clamp). The back-calculation below handles normal
+	// saturation; the clamp is the backstop against unbounded windup when
+	// the plant misbehaves for long stretches — faulty sensors feeding a
+	// persistent bias, or actuators stuck outside the loop's authority.
+	// Zero (the default) disables it, leaving Step bit-identical to the
+	// unclamped recursion.
+	zClamp float64
+
 	// Step instrumentation (single-goroutine, like the state above): total
 	// steps since Reset, steps on which any input saturated, and whether
 	// the most recent step saturated. The telemetry layer reads these; the
@@ -152,6 +161,13 @@ func (k *Controller) Step(deltaY float64) []float64 {
 			zNew += num / den
 		}
 	}
+	if k.zClamp > 0 {
+		if zNew > k.zClamp {
+			zNew = k.zClamp
+		} else if zNew < -k.zClamp {
+			zNew = -k.zClamp
+		}
+	}
 	k.z = zNew
 
 	// Observer predict with the input actually applied.
@@ -176,6 +192,21 @@ func (k *Controller) Step(deltaY float64) []float64 {
 	}
 	return k.uOut
 }
+
+// SetIntegratorClamp bounds the error integrator to |z| <= limit (0
+// disables, the default). See the zClamp field notes: this is the
+// graceful-degradation backstop used by the engine's measurement guard;
+// nominal runs never hit a sensibly sized clamp, so enabling it does not
+// perturb fault-free behaviour.
+func (k *Controller) SetIntegratorClamp(limit float64) {
+	if limit < 0 {
+		limit = 0
+	}
+	k.zClamp = limit
+}
+
+// IntegratorClamp returns the current clamp (0 = disabled).
+func (k *Controller) IntegratorClamp() float64 { return k.zClamp }
 
 // Saturated reports whether the most recent Step clipped any input to
 // [0,1]. Sustained saturation means the mask target is outside the
@@ -284,13 +315,14 @@ func (k *Controller) Clone() *Controller {
 		kz: k.kz, lx: k.lx, ld: k.ld,
 		uMean: k.uMean, yMean: k.yMean,
 		n: k.n, nu: k.nu, flopEst: k.flopEst,
-		xhat:  make([]float64, k.n),
-		uPrev: make([]float64, k.nu),
-		xNext: make([]float64, k.n),
-		bu:    make([]float64, k.n),
-		v:     make([]float64, k.nu),
-		uOut:  make([]float64, k.nu),
-		kxX:   make([]float64, k.nu),
+		zClamp: k.zClamp,
+		xhat:   make([]float64, k.n),
+		uPrev:  make([]float64, k.nu),
+		xNext:  make([]float64, k.n),
+		bu:     make([]float64, k.n),
+		v:      make([]float64, k.nu),
+		uOut:   make([]float64, k.nu),
+		kxX:    make([]float64, k.nu),
 	}
 	return c
 }

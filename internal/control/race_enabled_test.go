@@ -1,0 +1,7 @@
+//go:build race
+
+package control
+
+// raceEnabled lets timing-threshold tests skip under the race detector,
+// whose instrumentation multiplies per-step cost several-fold.
+func init() { raceEnabled = true }

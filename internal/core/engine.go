@@ -75,6 +75,14 @@ type Engine struct {
 	flight *telemetry.FlightRecorder
 	// metrics, when non-nil, feeds the aggregate counters.
 	metrics *EngineMetrics
+
+	// guard, when non-nil, filters implausible sensor readings before the
+	// controller sees them and re-initializes blown-up state (see Guard).
+	guard *Guard
+	// Measurement-hold state maintained by the guard.
+	lastGoodW float64
+	haveGood  bool
+	holdUsed  int
 }
 
 // EngineMetrics aggregates one engine's control-loop health into a
@@ -91,17 +99,29 @@ type EngineMetrics struct {
 	AbsErrorW *telemetry.Histogram
 	// StateNorm tracks the controller state's L2 norm (blow-up detector).
 	StateNorm *telemetry.Gauge
+	// GlitchRejects counts sensor readings the guard rejected (non-finite
+	// or outside the plausible power range).
+	GlitchRejects *telemetry.Counter
+	// HoldExhausted counts rejects that exceeded the guard's hold budget
+	// and were accepted clamped instead of held.
+	HoldExhausted *telemetry.Counter
+	// StateReinits counts controller state re-initializations after a
+	// norm blow-up.
+	StateReinits *telemetry.Counter
 }
 
 // NewEngineMetrics registers the engine instruments. Multiple engines may
 // share one registry; the counters then aggregate across them.
 func NewEngineMetrics(reg *telemetry.Registry) *EngineMetrics {
 	return &EngineMetrics{
-		Steps:       reg.Counter("maya_engine_steps_total", "control-loop Decide calls"),
-		Saturations: reg.Counter("maya_engine_saturated_steps_total", "steps with a saturated controller input"),
-		QuantClips:  reg.Counter("maya_engine_quant_clips_total", "knob commands clamped at the actuator range edge"),
-		AbsErrorW:   reg.Histogram("maya_engine_abs_error_w", "per-step |mask target − measured power| in watts", telemetry.ExpBuckets(0.125, 2, 12)),
-		StateNorm:   reg.Gauge("maya_engine_state_norm", "L2 norm of the controller state"),
+		Steps:         reg.Counter("maya_engine_steps_total", "control-loop Decide calls"),
+		Saturations:   reg.Counter("maya_engine_saturated_steps_total", "steps with a saturated controller input"),
+		QuantClips:    reg.Counter("maya_engine_quant_clips_total", "knob commands clamped at the actuator range edge"),
+		AbsErrorW:     reg.Histogram("maya_engine_abs_error_w", "per-step |mask target − measured power| in watts", telemetry.ExpBuckets(0.125, 2, 12)),
+		StateNorm:     reg.Gauge("maya_engine_state_norm", "L2 norm of the controller state"),
+		GlitchRejects: reg.Counter("maya_engine_glitch_rejects_total", "sensor readings rejected by the measurement guard"),
+		HoldExhausted: reg.Counter("maya_engine_hold_exhausted_total", "rejects accepted clamped after the hold budget ran out"),
+		StateReinits:  reg.Counter("maya_engine_state_reinits_total", "controller state re-initializations after a norm blow-up"),
 	}
 }
 
@@ -137,6 +157,7 @@ func (e *Engine) Reset(seed uint64) {
 	e.Targets = e.Targets[:0]
 	e.DecideTime = 0
 	e.Steps = 0
+	e.lastGoodW, e.haveGood, e.holdUsed = 0, false, 0
 	if e.flight != nil {
 		e.flight.Reset()
 	}
@@ -154,6 +175,17 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 	// component plus the open-loop high-frequency component.
 	e.Targets = append(e.Targets, target+ditherW)
 
+	// Measurement guard: reject non-finite or implausible readings before
+	// anything downstream (controller, NLMS gain estimator) consumes them.
+	rawW := powerW
+	rejected := false
+	if e.guard != nil && step > 0 {
+		powerW, rejected = e.sanitize(powerW, target)
+		if rejected && e.metrics != nil {
+			e.metrics.GlitchRejects.Inc()
+		}
+	}
+
 	var u []float64
 	if step == 0 {
 		// No sensor reading exists yet; hold the operating point rather
@@ -163,6 +195,17 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 		// The feedback loop tracks only the low-frequency component; the
 		// dither would be invisible to it anyway (above loop bandwidth).
 		u = e.ctl.Step(target - powerW)
+	}
+	// Blow-up recovery: re-initialize the controller at the identified
+	// operating point when its state norm diverges (sustained saturation
+	// or fault bursts). The emitted u buffer survives Reset.
+	reinit := false
+	if e.guard != nil && e.guard.StateNormLimit > 0 && e.ctl.StateNorm() > e.guard.StateNormLimit {
+		e.ctl.Reset()
+		reinit = true
+		if e.metrics != nil {
+			e.metrics.StateReinits.Inc()
+		}
 	}
 	u2 := u[2]
 	if e.dither != nil && e.balloonGainW > 0 {
@@ -238,7 +281,7 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 		e.metrics.StateNorm.Set(e.ctl.StateNorm())
 	}
 	if e.flight != nil {
-		e.flight.Record(telemetry.FlightRecord{
+		rec := telemetry.FlightRecord{
 			Step:      step,
 			TargetW:   target + ditherW,
 			MeasuredW: powerW,
@@ -248,7 +291,17 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 			Saturated: e.ctl.Saturated(),
 			Clipped:   clipped,
 			StateNorm: e.ctl.StateNorm(),
-		})
+		}
+		if rejected {
+			rec.Rejected = true
+			// JSON cannot carry NaN/±Inf; non-finite raw readings are
+			// recorded as 0 (the Rejected flag still marks them).
+			if !math.IsNaN(rawW) && !math.IsInf(rawW, 0) {
+				rec.RawW = rawW
+			}
+		}
+		rec.StateReinit = reinit
+		e.flight.Record(rec)
 	}
 
 	e.DecideTime += time.Since(start)

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/telemetry"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+// goldenFlightPath is the committed reference trace: 301 control periods of
+// Maya GS on Sys1 protecting blackscholes, flushed as JSONL.
+const goldenFlightPath = "testdata/flight_sys1_gs.jsonl"
+
+// goldenFlightTrace produces the trace the golden file pins down. Any knob
+// here (seeds, ticks, workload) is part of the file's identity — change one
+// and the file must be regenerated.
+func goldenFlightTrace(t *testing.T) []byte {
+	t.Helper()
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	eng := NewGSEngine(d, cfg, 20, 42)
+	flight := telemetry.NewFlightRecorder(6000/20 + 8)
+	eng.SetFlight(flight)
+	eng.Reset(42)
+
+	m := sim.NewMachine(cfg, 43)
+	w := workload.NewApp("blackscholes").Scale(0.2)
+	w.Reset(44)
+	sim.Run(m, w, eng, sim.RunSpec{ControlPeriodTicks: 20, MaxTicks: 6000})
+
+	var buf bytes.Buffer
+	if err := flight.Flush(&buf); err != nil {
+		t.Fatalf("flight flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenFlightTrace pins the entire deterministic pipeline — mask
+// generation, controller arithmetic, actuation, the simulated plant, and
+// the flight recorder's JSON encoding — to a committed byte-exact trace.
+// Any unintended behavioural drift (a reordered floating-point reduction, a
+// changed seed derivation, a new flight field leaking into nominal runs)
+// fails this test before it can silently invalidate experiment baselines.
+//
+// To regenerate after an INTENTIONAL change:
+//
+//	MAYA_UPDATE_GOLDEN=1 go test ./internal/core -run TestGoldenFlightTrace
+func TestGoldenFlightTrace(t *testing.T) {
+	got := goldenFlightTrace(t)
+	if os.Getenv("MAYA_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenFlightPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFlightPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenFlightPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenFlightPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with MAYA_UPDATE_GOLDEN=1): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	// Find the first differing line for a useful failure message.
+	gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			t.Fatalf("flight trace diverged from golden at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("flight trace length changed: got %d lines, golden %d", len(gl), len(wl))
+}
+
+// TestGoldenFlightTraceParses guards the reader side: the committed trace
+// must round-trip through telemetry.ReadFlight without skipped lines.
+func TestGoldenFlightTraceParses(t *testing.T) {
+	f, err := os.Open(goldenFlightPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with MAYA_UPDATE_GOLDEN=1): %v", err)
+	}
+	defer f.Close()
+	recs, skipped, err := telemetry.ReadFlight(f)
+	if err != nil || skipped != 0 {
+		t.Fatalf("golden trace unreadable: %d skipped, err %v", skipped, err)
+	}
+	// Step 0 plus one record per 20-tick period over 6000 ticks.
+	if len(recs) != 301 {
+		t.Fatalf("golden trace has %d records, want 301", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Step != i {
+			t.Fatalf("record %d has step %d", i, rec.Step)
+		}
+		if rec.Rejected || rec.StateReinit {
+			t.Fatalf("nominal golden trace carries fault flags at step %d: %+v", i, rec)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+
+	"github.com/maya-defense/maya/internal/sim"
+)
+
+// Guard hardens one engine against a misbehaving plant: faulty sensors
+// (dropouts, spikes, NaN/Inf readings, counter wraparound glitches) and
+// long out-of-authority stretches that would otherwise wind the controller
+// up. The guard only filters what the controller consumes — it never
+// injects randomness — so a guarded engine on a healthy plant behaves
+// bit-for-bit like an unguarded one, and fault-free flight traces stay
+// byte-identical (proven by TestGuardInertOnNominalRun).
+//
+// A nil guard (the default) disables all of it; mayactl -faults, the
+// `faults` experiment sweep, and the robustness regression harness enable
+// DefaultGuard.
+type Guard struct {
+	// MinPlausibleW rejects readings below this (a real machine cannot
+	// read ~0 W: static power alone keeps the floor above it). Sensor
+	// dropouts and RAPL wraparound glitches both surface as 0 W reads.
+	MinPlausibleW float64
+	// MaxPlausibleW rejects readings above this (spikes past what the
+	// machine can physically draw).
+	MaxPlausibleW float64
+	// HoldBudget bounds how many consecutive implausible-but-finite
+	// readings are replaced by the last good one. Past the budget the
+	// engine stops trusting its held value and accepts the reading clamped
+	// into the plausible range — if the plant really moved, holding
+	// forever would leak through frozen actuation. Non-finite readings are
+	// always held: there is no value to accept.
+	HoldBudget int
+	// StateNormLimit re-initializes the controller state when its L2 norm
+	// exceeds this (observer/integrator blow-up under sustained saturation
+	// or fault bursts). The controller restarts at the identified
+	// operating point, which is exactly the saturation-safe posture.
+	StateNormLimit float64
+	// IntegratorClamp is installed on the controller as an anti-windup
+	// hard clamp (control.Controller.SetIntegratorClamp).
+	IntegratorClamp float64
+}
+
+// DefaultGuard returns the guard tuning for a machine: plausibility bounds
+// derived from the machine's physical power range, half a second of hold
+// budget at the paper's 20 ms period, and windup limits far outside
+// nominal operation.
+func DefaultGuard(cfg sim.Config) Guard {
+	return Guard{
+		MinPlausibleW:   0.25,
+		MaxPlausibleW:   3 * cfg.TDP,
+		HoldBudget:      25,
+		StateNormLimit:  1e3,
+		IntegratorClamp: 40 * cfg.TDP,
+	}
+}
+
+// SetGuard attaches a measurement guard (nil detaches it and removes the
+// controller's integrator clamp).
+func (e *Engine) SetGuard(g *Guard) {
+	e.guard = g
+	if g == nil {
+		e.ctl.SetIntegratorClamp(0)
+		return
+	}
+	e.ctl.SetIntegratorClamp(g.IntegratorClamp)
+}
+
+// Guard returns the attached guard, if any.
+func (e *Engine) Guard() *Guard { return e.guard }
+
+// sanitize applies the guard to a raw sensor reading and returns the value
+// the controller should consume plus whether the raw reading was rejected.
+// It maintains the hold state (last good reading, hold budget).
+func (e *Engine) sanitize(raw, fallback float64) (float64, bool) {
+	g := e.guard
+	finite := !math.IsNaN(raw) && !math.IsInf(raw, 0)
+	plausible := finite &&
+		!(g.MinPlausibleW > 0 && raw < g.MinPlausibleW) &&
+		!(g.MaxPlausibleW > 0 && raw > g.MaxPlausibleW)
+	if plausible {
+		e.lastGoodW = raw
+		e.haveGood = true
+		e.holdUsed = 0
+		return raw, false
+	}
+	if finite && e.holdUsed >= g.HoldBudget {
+		// Hold budget exhausted: believe the plant moved, but keep the
+		// consumed value inside the plausible range.
+		v := raw
+		if g.MinPlausibleW > 0 && v < g.MinPlausibleW {
+			v = g.MinPlausibleW
+		}
+		if g.MaxPlausibleW > 0 && v > g.MaxPlausibleW {
+			v = g.MaxPlausibleW
+		}
+		e.lastGoodW = v
+		e.haveGood = true
+		e.holdUsed = 0
+		if e.metrics != nil {
+			e.metrics.HoldExhausted.Inc()
+		}
+		return v, true
+	}
+	// Hold the last good reading (or, before any good reading exists, the
+	// fallback: the current mask target, which makes the error zero and
+	// leaves the operating point untouched).
+	e.holdUsed++
+	if e.haveGood {
+		return e.lastGoodW, true
+	}
+	return fallback, true
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/fault"
+	"github.com/maya-defense/maya/internal/signal"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/telemetry"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+// guardedRun executes one GS run on Sys1 and returns the run result, the
+// engine metrics, and the flushed flight trace.
+func guardedRun(t *testing.T, guard *Guard, ticks int) (sim.RunResult, *EngineMetrics, []byte, *Engine) {
+	t.Helper()
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	eng := NewGSEngine(d, cfg, 20, 99)
+	eng.SetGuard(guard)
+	em := NewEngineMetrics(telemetry.NewRegistry())
+	eng.SetMetrics(em)
+	flight := telemetry.NewFlightRecorder(ticks/20 + 8)
+	eng.SetFlight(flight)
+	eng.Reset(99)
+
+	m := sim.NewMachine(cfg, 7)
+	w := workload.NewApp("bodytrack")
+	w.Reset(3)
+	res := sim.Run(m, w, eng, sim.RunSpec{ControlPeriodTicks: 20, MaxTicks: ticks})
+	var buf bytes.Buffer
+	if err := flight.Flush(&buf); err != nil {
+		t.Fatalf("flight flush: %v", err)
+	}
+	return res, em, buf.Bytes(), eng
+}
+
+// TestGuardInertOnNominalRun is the determinism contract from the Guard
+// docs: on a healthy plant a guarded engine behaves bit-for-bit like an
+// unguarded one, down to the flight trace bytes.
+func TestGuardInertOnNominalRun(t *testing.T) {
+	g := DefaultGuard(sim.Sys1())
+	plain, _, plainTrace, _ := guardedRun(t, nil, 24000)
+	guarded, em, guardedTrace, _ := guardedRun(t, &g, 24000)
+
+	if !bytes.Equal(plainTrace, guardedTrace) {
+		t.Error("guard changed the flight trace on a nominal run")
+	}
+	if len(plain.DefenseSamples) != len(guarded.DefenseSamples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(plain.DefenseSamples), len(guarded.DefenseSamples))
+	}
+	for i := range plain.DefenseSamples {
+		if plain.DefenseSamples[i] != guarded.DefenseSamples[i] {
+			t.Fatalf("sample %d differs: %g vs %g", i, plain.DefenseSamples[i], guarded.DefenseSamples[i])
+		}
+	}
+	if n := em.GlitchRejects.Value() + em.HoldExhausted.Value() + em.StateReinits.Value(); n != 0 {
+		t.Errorf("guard fired %d times on a nominal run", n)
+	}
+}
+
+// TestGuardSurvivesSensorFaults wires the glitchiest sensor plan into a
+// guarded GS run: the loop must keep tracking the mask and never consume a
+// non-finite reading.
+func TestGuardSurvivesSensorFaults(t *testing.T) {
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	g := DefaultGuard(cfg)
+	eng := NewGSEngine(d, cfg, 20, 99)
+	eng.SetGuard(&g)
+	em := NewEngineMetrics(telemetry.NewRegistry())
+	eng.SetMetrics(em)
+	flight := telemetry.NewFlightRecorder(40000/20 + 8)
+	eng.SetFlight(flight)
+	eng.Reset(99)
+
+	plan, ok := fault.PlanByName("sensor-spike")
+	if !ok {
+		t.Fatal("canned plan sensor-spike missing")
+	}
+	inj := fault.MustNew(plan, 5)
+	m := sim.NewMachine(cfg, 7)
+	inj.Attach(m)
+	w := workload.NewApp("bodytrack")
+	w.Reset(3)
+	res := sim.Run(m, w, inj.Policy(eng), sim.RunSpec{
+		ControlPeriodTicks: 20,
+		MaxTicks:           40000,
+		DefenseSensor:      inj.Sensor(sim.NewRAPLSensor(m)),
+	})
+
+	if em.GlitchRejects.Value() == 0 {
+		t.Error("no rejects despite injected spikes and NaNs")
+	}
+	rejected := 0
+	for _, rec := range flight.Snapshot() {
+		if !finiteF(rec.MeasuredW) || !finiteF(rec.ErrorW) || !finiteF(rec.StateNorm) {
+			t.Fatalf("non-finite value reached the controller at step %d: %+v", rec.Step, rec)
+		}
+		if rec.Rejected {
+			rejected++
+			if !finiteF(rec.RawW) {
+				t.Fatalf("flight RawW non-finite at step %d (JSON cannot carry it)", rec.Step)
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Error("no flight record carries the Rejected flag")
+	}
+	for _, in := range res.InputTrace {
+		if !finiteF(in.FreqGHz) || !finiteF(in.Idle) || !finiteF(in.Balloon) {
+			t.Fatalf("non-finite knob command: %+v", in)
+		}
+	}
+	// The loop must still track: compare the guarded faulted run's flight
+	// errors against the band (same bound family as TestEngineTracksGSMask,
+	// with extra headroom for the fault transients).
+	var mad float64
+	recs := flight.Snapshot()
+	for _, rec := range recs[50:] {
+		mad += math.Abs(rec.ErrorW)
+	}
+	mad /= float64(len(recs) - 50)
+	if mad > 0.25*d.Band.Width() {
+		t.Errorf("tracking lost under sensor faults: mean|e| %.2f W vs band %.2f W", mad, d.Band.Width())
+	}
+}
+
+// TestGuardStateReinit forces the blow-up recovery path with an absurdly
+// tight norm limit and checks the loop survives and flags the event.
+func TestGuardStateReinit(t *testing.T) {
+	g := DefaultGuard(sim.Sys1())
+	g.StateNormLimit = 1e-3 // every step exceeds this
+	res, em, _, eng := guardedRun(t, &g, 12000)
+
+	if em.StateReinits.Value() == 0 {
+		t.Fatal("no state re-inits despite a tight norm limit")
+	}
+	reinits := 0
+	for _, rec := range eng.flight.Snapshot() {
+		if rec.StateReinit {
+			reinits++
+		}
+	}
+	if reinits == 0 {
+		t.Error("no flight record carries the StateReinit flag")
+	}
+	cfg := sim.Sys1()
+	for _, in := range res.InputTrace {
+		if in.FreqGHz < cfg.FminGHz-1e-9 || in.FreqGHz > cfg.FmaxGHz+1e-9 {
+			t.Fatalf("knob out of range after re-init: %+v", in)
+		}
+	}
+}
+
+// TestGuardSanitize unit-tests the hold/accept state machine.
+func TestGuardSanitize(t *testing.T) {
+	g := Guard{MinPlausibleW: 1, MaxPlausibleW: 100, HoldBudget: 3}
+	e := &Engine{guard: &g}
+
+	// Before any good reading: held readings fall back to the target.
+	if v, rej := e.sanitize(math.NaN(), 42); !rej || v != 42 {
+		t.Fatalf("NaN before good reading: got (%g, %v), want (42, true)", v, rej)
+	}
+	// A plausible reading passes and becomes the held value.
+	if v, rej := e.sanitize(20, 42); rej || v != 20 {
+		t.Fatalf("plausible reading: got (%g, %v)", v, rej)
+	}
+	// Non-finite and implausible readings are replaced by the last good one.
+	for i, raw := range []float64{math.Inf(1), 0.2, 500} {
+		if v, rej := e.sanitize(raw, 42); !rej || v != 20 {
+			t.Fatalf("glitch %d (%g): got (%g, %v), want (20, true)", i, raw, v, rej)
+		}
+	}
+	// The budget is now exhausted (3 holds): a finite implausible reading is
+	// accepted, clamped into the plausible range.
+	if v, rej := e.sanitize(500, 42); !rej || v != 100 {
+		t.Fatalf("post-budget reading: got (%g, %v), want (100, true)", v, rej)
+	}
+	// ... and the budget refills from there.
+	if v, rej := e.sanitize(0.5, 42); !rej || v != 100 {
+		t.Fatalf("hold after refill: got (%g, %v), want (100, true)", v, rej)
+	}
+	// Non-finite readings never get accepted, budget or not.
+	e.holdUsed = 99
+	if v, rej := e.sanitize(math.NaN(), 42); !rej || v != 100 {
+		t.Fatalf("NaN past budget: got (%g, %v), want (100, true)", v, rej)
+	}
+	// Recovery: a plausible reading resets everything.
+	if v, rej := e.sanitize(30, 42); rej || v != 30 {
+		t.Fatalf("recovery reading: got (%g, %v)", v, rej)
+	}
+	if e.holdUsed != 0 {
+		t.Fatalf("holdUsed not reset: %d", e.holdUsed)
+	}
+}
+
+// TestGuardSetAndDetach covers guard attachment plumbing: installing sets
+// the controller clamp, detaching removes it.
+func TestGuardSetAndDetach(t *testing.T) {
+	d := testDesign(t)
+	cfg := sim.Sys1()
+	eng := NewGSEngine(d, cfg, 20, 1)
+	g := DefaultGuard(cfg)
+	eng.SetGuard(&g)
+	if eng.Guard() != &g {
+		t.Fatal("Guard() does not return the installed guard")
+	}
+	if got := eng.ctl.IntegratorClamp(); got != g.IntegratorClamp {
+		t.Fatalf("controller clamp %g, want %g", got, g.IntegratorClamp)
+	}
+	eng.SetGuard(nil)
+	if eng.Guard() != nil || eng.ctl.IntegratorClamp() != 0 {
+		t.Fatal("detaching the guard did not clear the clamp")
+	}
+}
+
+// TestGuardLeakUnderFaults reuses the phase-structure methodology under the
+// kitchen-sink plan: faults must not re-expose the application.
+func TestGuardLeakUnderFaults(t *testing.T) {
+	d := testDesign(t)
+	cfg := sim.Sys1()
+
+	mBase := sim.NewMachine(cfg, 11)
+	wBase := workload.NewApp("blackscholes").Scale(0.4)
+	wBase.Reset(5)
+	base := sim.Run(mBase, wBase, sim.NewBaselinePolicy(cfg), sim.RunSpec{ControlPeriodTicks: 20, MaxTicks: 40000})
+
+	g := DefaultGuard(cfg)
+	eng := NewGSEngine(d, cfg, 20, 123)
+	eng.SetGuard(&g)
+	eng.Reset(123)
+	plan, _ := fault.PlanByName("kitchen-sink")
+	inj := fault.MustNew(plan, 9)
+	mGS := sim.NewMachine(cfg, 11)
+	inj.Attach(mGS)
+	wGS := workload.NewApp("blackscholes").Scale(0.4)
+	wGS.Reset(5)
+	prot := sim.Run(mGS, wGS, inj.Policy(eng), sim.RunSpec{
+		ControlPeriodTicks: 20,
+		MaxTicks:           40000,
+		DefenseSensor:      inj.Sensor(sim.NewRAPLSensor(mGS)),
+	})
+
+	n := len(base.DefenseSamples)
+	if len(prot.DefenseSamples) < n {
+		n = len(prot.DefenseSamples)
+	}
+	var ps, bs []float64
+	for i := 0; i < n; i++ {
+		if finiteF(prot.DefenseSamples[i]) && finiteF(base.DefenseSamples[i]) {
+			ps = append(ps, prot.DefenseSamples[i])
+			bs = append(bs, base.DefenseSamples[i])
+		}
+	}
+	corrApp := math.Abs(signal.Pearson(ps, bs))
+	if corrApp > 0.5 {
+		t.Fatalf("faults re-exposed the app: |corr| = %g", corrApp)
+	}
+}
+
+func finiteF(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

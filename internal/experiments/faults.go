@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/maya-defense/maya/internal/core"
+	"github.com/maya-defense/maya/internal/fault"
+	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/signal"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/telemetry"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+// FaultRow is one fault plan's outcome in the robustness sweep.
+type FaultRow struct {
+	// Plan is the canned plan name ("none" for the fault-free control row).
+	Plan string
+	// MeanAbsErrW is the mean |target − consumed measurement| over the
+	// engine's flight records (warmup excluded).
+	MeanAbsErrW float64
+	// Injected is what the injector actually fired.
+	Injected fault.Stats
+	// Rejects / HoldExhausted / Reinits are the engine guard's reactions.
+	Rejects, HoldExhausted, Reinits uint64
+	// AppCorr is |Pearson| between the defended power trace and the same
+	// workload's undefended profile — the leak proxy.
+	AppCorr float64
+	// Finite reports that every emitted sample, target, and knob command
+	// was finite (no NaN/Inf escaped the loop).
+	Finite bool
+}
+
+// FaultSweepResult reproduces the robustness claim behind §V/§VI: the
+// closed loop keeps the measured power locked to the mask — and keeps
+// hiding the application — when the plant misbehaves, which open-loop
+// defenses cannot do.
+type FaultSweepResult struct {
+	Machine string
+	Rows    []FaultRow
+}
+
+// ID implements Result.
+func (r *FaultSweepResult) ID() string { return "Robustness fault sweep" }
+
+// FaultSweep runs Maya GS on Sys1 under every canned fault plan (plus a
+// fault-free control row) with the measurement guard enabled. Machine and
+// workload seeds are shared across rows so that only the injected faults
+// (and the engine secret) differ.
+func FaultSweep(sc Scale, seed uint64) (*FaultSweepResult, error) {
+	cfg := sim.Sys1()
+	art, err := DesignFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	machineSeed := rng.ChildSeed(seed, 1)
+	wlSeed := rng.ChildSeed(seed, 2)
+
+	newWorkload := func() workload.Workload {
+		w := workload.NewApp("blackscholes").Scale(sc.WorkloadScale)
+		w.Reset(wlSeed)
+		return w
+	}
+
+	// Undefended reference profile for the leak proxy.
+	base := sim.Run(sim.NewMachine(cfg, machineSeed), newWorkload(),
+		sim.NewBaselinePolicy(cfg),
+		sim.RunSpec{ControlPeriodTicks: 20, MaxTicks: sc.TraceTicks})
+
+	plans := append([]fault.Plan{{Name: "none"}}, fault.Plans()...)
+	res := &FaultSweepResult{Machine: cfg.Name}
+	for i, plan := range plans {
+		engSeed := rng.ChildSeed(seed, 100+uint64(i))
+		eng := core.NewGSEngine(art, cfg, 20, engSeed)
+		guard := core.DefaultGuard(cfg)
+		eng.SetGuard(&guard)
+		reg := telemetry.NewRegistry()
+		em := core.NewEngineMetrics(reg)
+		eng.SetMetrics(em)
+		flight := telemetry.NewFlightRecorder(sc.WarmupTicks/20 + sc.TraceTicks/20 + 8)
+		eng.SetFlight(flight)
+		eng.Reset(engSeed)
+
+		inj := fault.MustNew(plan, engSeed)
+		m := sim.NewMachine(cfg, machineSeed)
+		inj.Attach(m)
+		run := sim.Run(m, newWorkload(), inj.Policy(eng), sim.RunSpec{
+			ControlPeriodTicks: 20,
+			MaxTicks:           sc.TraceTicks,
+			WarmupTicks:        sc.WarmupTicks,
+			DefenseSensor:      inj.Sensor(sim.NewRAPLSensor(m)),
+		})
+
+		row := FaultRow{
+			Plan:          plan.Name,
+			Injected:      inj.Stats(),
+			Rejects:       em.GlitchRejects.Value(),
+			HoldExhausted: em.HoldExhausted.Value(),
+			Reinits:       em.StateReinits.Value(),
+			Finite:        true,
+		}
+		var absErr float64
+		n := 0
+		for _, rec := range flight.Snapshot() {
+			if rec.Step < run.FirstStep {
+				continue
+			}
+			if !finite(rec.MeasuredW) || !finite(rec.TargetW) || !finite(rec.ErrorW) {
+				row.Finite = false
+			}
+			absErr += math.Abs(rec.ErrorW)
+			n++
+		}
+		if n > 0 {
+			row.MeanAbsErrW = absErr / float64(n)
+		}
+		for _, v := range run.DefenseSamples {
+			// Raw samples may carry injected NaN spikes before the guard —
+			// the engine's *outputs* must stay finite.
+			_ = v
+		}
+		for _, in := range run.InputTrace {
+			if !finite(in.FreqGHz) || !finite(in.Idle) || !finite(in.Balloon) {
+				row.Finite = false
+			}
+		}
+		nn := len(run.DefenseSamples)
+		if len(base.DefenseSamples) < nn {
+			nn = len(base.DefenseSamples)
+		}
+		prot := make([]float64, 0, nn)
+		ref := make([]float64, 0, nn)
+		for t := 0; t < nn; t++ {
+			// The leak proxy must tolerate non-finite raw sensor readings
+			// (they occur under the non-finite sensor plans).
+			if finite(run.DefenseSamples[t]) && finite(base.DefenseSamples[t]) {
+				prot = append(prot, run.DefenseSamples[t])
+				ref = append(ref, base.DefenseSamples[t])
+			}
+		}
+		if len(prot) > 1 {
+			row.AppCorr = math.Abs(signal.Pearson(prot, ref))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Render implements Result.
+func (r *FaultSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — Maya GS on %s under injected substrate faults (guard on)\n\n", r.ID(), r.Machine)
+	fmt.Fprintf(&b, "%-16s %10s %9s %9s %8s %8s %8s %7s\n",
+		"plan", "mean|e| W", "injected", "rejects", "holdout", "reinits", "appcorr", "finite")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %10.2f %9d %9d %8d %8d %8.2f %7v\n",
+			row.Plan, row.MeanAbsErrW, row.Injected.Total(), row.Rejects,
+			row.HoldExhausted, row.Reinits, row.AppCorr, row.Finite)
+	}
+	b.WriteString("\nexpected: every row finite; faulted rows track within a few watts of the\n")
+	b.WriteString("fault-free row; app correlation stays low (the mask, not the workload,\n")
+	b.WriteString("dominates the trace) — closed-loop rejection is what open-loop noise\n")
+	b.WriteString("injection cannot provide\n")
+	return b.String()
+}

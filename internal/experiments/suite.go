@@ -54,6 +54,7 @@ func Suite() []SuiteEntry {
 		{"covert", func(sc Scale, seed uint64) (Result, error) { return CovertChannel(sc, seed) }},
 		{"thermal", func(sc Scale, seed uint64) (Result, error) { return Thermal(sc, seed) }},
 		{"toolbox", func(sc Scale, seed uint64) (Result, error) { return Toolbox(sc, seed) }},
+		{"faults", func(sc Scale, seed uint64) (Result, error) { return FaultSweep(sc, seed) }},
 		{"ablation-masks", func(sc Scale, seed uint64) (Result, error) { return AblationMasks(sc, seed) }},
 		{"ablation-guardband", func(sc Scale, seed uint64) (Result, error) { return AblationGuardband(sc, seed) }},
 		{"ablation-nhold", func(sc Scale, seed uint64) (Result, error) { return AblationNhold(sc, seed) }},

@@ -1,0 +1,218 @@
+package fault_test
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/fault"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	for _, plan := range fault.Plans() {
+		var buf bytes.Buffer
+		if err := plan.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: write: %v", plan.Name, err)
+		}
+		got, err := fault.ReadPlanJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", plan.Name, err)
+		}
+		if !reflect.DeepEqual(got, plan) {
+			t.Errorf("%s: round trip changed the plan:\n got %+v\nwant %+v", plan.Name, got, plan)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	for _, plan := range fault.Plans() {
+		if err := plan.Validate(); err != nil {
+			t.Errorf("canned plan %s does not validate: %v", plan.Name, err)
+		}
+	}
+	bad := []fault.Plan{
+		{Sensor: fault.SensorPlan{DropoutProb: 1.5}},
+		{Sensor: fault.SensorPlan{SpikeProb: -0.1}},
+		{Sensor: fault.SensorPlan{SpikeMagW: -1}},
+		{Sensor: fault.SensorPlan{StuckReads: -1}},
+		{Counter: fault.CounterPlan{WrapJ: -1}},
+		{Actuator: fault.ActuatorPlan{StuckTicks: -1}},
+		{Actuator: fault.ActuatorPlan{LagScale: -2}},
+		{Timing: fault.TimingPlan{MissProb: 2}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d validated: %+v", i, p)
+		}
+		if _, err := fault.New(p, 1); err == nil {
+			t.Errorf("New accepted bad plan %d", i)
+		}
+	}
+}
+
+func TestReadPlanJSONRejectsUnknownFields(t *testing.T) {
+	if _, err := fault.ReadPlanJSON(strings.NewReader(`{"sensor":{"dropuot_prob":0.1}}`)); err == nil {
+		t.Fatal("misspelled field accepted")
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	if !(fault.Plan{}).Empty() {
+		t.Error("zero plan not Empty")
+	}
+	if !(fault.Plan{Name: "x", Actuator: fault.ActuatorPlan{LagScale: 1}}).Empty() {
+		t.Error("LagScale=1 (nominal) plan not Empty")
+	}
+	for _, plan := range fault.Plans() {
+		if plan.Empty() {
+			t.Errorf("canned plan %s reports Empty", plan.Name)
+		}
+	}
+}
+
+func TestPlanByName(t *testing.T) {
+	for _, name := range fault.PlanNames() {
+		p, ok := fault.PlanByName(name)
+		if !ok || p.Name != name {
+			t.Errorf("PlanByName(%q) = %+v, %v", name, p, ok)
+		}
+	}
+	if _, ok := fault.PlanByName("no-such-plan"); ok {
+		t.Error("PlanByName accepted an unknown name")
+	}
+}
+
+// runPlan drives a baseline-controlled machine with the plan's faults fully
+// wired (sensor wrapper, machine hooks, policy wrapper) and returns what
+// fired plus the recorded samples and input trace.
+func runPlan(t *testing.T, plan fault.Plan, seed uint64, ticks int) (fault.Stats, sim.RunResult) {
+	t.Helper()
+	cfg := sim.Sys1()
+	m := sim.NewMachine(cfg, seed)
+	inj := fault.MustNew(plan, seed)
+	inj.Attach(m)
+	w := workload.NewApp("blackscholes").Scale(0.1)
+	w.Reset(seed + 1)
+	res := sim.Run(m, w, inj.Policy(sim.NewBaselinePolicy(cfg)), sim.RunSpec{
+		ControlPeriodTicks: 20,
+		MaxTicks:           ticks,
+		DefenseSensor:      inj.Sensor(sim.NewRAPLSensor(m)),
+	})
+	return inj.Stats(), res
+}
+
+// TestEachChannelFires proves every canned plan exercises the fault channels
+// it claims to — a plan that silently injects nothing would make the whole
+// robustness harness vacuous.
+func TestEachChannelFires(t *testing.T) {
+	const ticks = 40000
+	stats := map[string]fault.Stats{}
+	results := map[string]sim.RunResult{}
+	for _, plan := range fault.Plans() {
+		s, res := runPlan(t, plan, 7, ticks)
+		stats[plan.Name] = s
+		results[plan.Name] = res
+	}
+
+	if s := stats["sensor-dropout"]; s.SensorDropouts == 0 || s.SensorStuck == 0 {
+		t.Errorf("sensor-dropout fired nothing: %v", s)
+	}
+	if s := stats["sensor-spike"]; s.SensorSpikes == 0 || s.SensorNonFinite == 0 {
+		t.Errorf("sensor-spike fired nothing: %v", s)
+	}
+	if s := stats["actuator-stuck"]; s.CommandDrops == 0 || s.KnobStuck == 0 {
+		t.Errorf("actuator-stuck fired nothing: %v", s)
+	}
+	if s := stats["deadline-miss"]; s.DeadlineMisses == 0 || s.StaleSamples == 0 {
+		t.Errorf("deadline-miss fired nothing: %v", s)
+	}
+	if s := stats["kitchen-sink"]; s.Total() == 0 {
+		t.Errorf("kitchen-sink fired nothing: %v", s)
+	}
+
+	// The counter channel fires inside the machine, not the injector: a
+	// wrapped energy counter surfaces as impossible 0-W readings once the
+	// RAPL reader clamps the negative delta.
+	zeros := 0
+	for _, v := range results["rapl-wrap"].DefenseSamples {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Error("rapl-wrap produced no clamped 0-W readings")
+	}
+}
+
+// TestInjectorDeterministic proves the whole faulted run — injected sensor
+// values, actuation, timing — replays bit-for-bit for a fixed (plan, seed).
+func TestInjectorDeterministic(t *testing.T) {
+	for _, plan := range fault.Plans() {
+		s1, r1 := runPlan(t, plan, 11, 12000)
+		s2, r2 := runPlan(t, plan, 11, 12000)
+		if s1 != s2 {
+			t.Errorf("%s: stats differ across identical runs:\n%v\n%v", plan.Name, s1, s2)
+		}
+		if !sameFloats(r1.DefenseSamples, r2.DefenseSamples) {
+			t.Errorf("%s: samples differ across identical runs", plan.Name)
+		}
+		if !reflect.DeepEqual(r1.InputTrace, r2.InputTrace) {
+			t.Errorf("%s: input traces differ across identical runs", plan.Name)
+		}
+
+		// A different seed must realize a different fault sequence.
+		s3, _ := runPlan(t, plan, 12, 12000)
+		if plan.Name != "rapl-wrap" && s1 == s3 {
+			t.Errorf("%s: stats identical across different seeds: %v", plan.Name, s1)
+		}
+	}
+}
+
+// TestEmptyPlanNonInvasive is the load-bearing guarantee: fully wiring an
+// empty plan (sensor wrapper, machine hooks, policy wrapper) leaves the run
+// byte-identical to an unwrapped one.
+func TestEmptyPlanNonInvasive(t *testing.T) {
+	cfg := sim.Sys1()
+	run := func(wrap bool) sim.RunResult {
+		m := sim.NewMachine(cfg, 3)
+		w := workload.NewApp("blackscholes").Scale(0.1)
+		w.Reset(4)
+		var pol sim.Policy = sim.NewBaselinePolicy(cfg)
+		spec := sim.RunSpec{ControlPeriodTicks: 20, MaxTicks: 12000}
+		if wrap {
+			inj := fault.MustNew(fault.Plan{Name: "empty"}, 99)
+			inj.Attach(m)
+			pol = inj.Policy(pol)
+			spec.DefenseSensor = inj.Sensor(sim.NewRAPLSensor(m))
+		}
+		return sim.Run(m, w, pol, spec)
+	}
+	plain, wrapped := run(false), run(true)
+	if !sameFloats(plain.DefenseSamples, wrapped.DefenseSamples) {
+		t.Error("empty plan changed the power samples")
+	}
+	if !reflect.DeepEqual(plain.InputTrace, wrapped.InputTrace) {
+		t.Error("empty plan changed the input trace")
+	}
+	if plain.EnergyJ != wrapped.EnergyJ {
+		t.Errorf("empty plan changed the energy: %g vs %g", plain.EnergyJ, wrapped.EnergyJ)
+	}
+}
+
+// sameFloats is bit-for-bit equality that treats NaN as equal to itself
+// (injected NaN readings must also replay deterministically).
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

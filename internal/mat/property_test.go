@@ -1,0 +1,217 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/rng"
+)
+
+// Property-based coverage of the solvers: instead of a handful of
+// hand-picked systems, each test draws many random well-conditioned
+// problems (deterministic seeds — these are regression tests, not flaky
+// fuzzers) and checks the algebraic identity the solver promises.
+
+// randMatrix fills an r×c matrix with Uniform(-1,1) entries.
+func randMatrix(s *rng.Stream, r, c int) *Matrix {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, s.Uniform(-1, 1))
+		}
+	}
+	return m
+}
+
+// randDominant draws a strictly diagonally dominant n×n matrix — always
+// invertible and well-conditioned enough for tight residual checks.
+func randDominant(s *rng.Stream, n int) *Matrix {
+	m := randMatrix(s, n, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += math.Abs(m.At(i, j))
+		}
+		sign := 1.0
+		if s.Bool(0.5) {
+			sign = -1
+		}
+		m.Set(i, i, sign*(sum+1))
+	}
+	return m
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// TestPropertyLUSolve: for random dominant A and known x, solving A x = b
+// recovers x, both through the one-shot helpers and a reused factorization.
+func TestPropertyLUSolve(t *testing.T) {
+	s := rng.NewNamed(1, "lu-solve")
+	for trial := 0; trial < 200; trial++ {
+		n := s.IntRange(1, 9)
+		a := randDominant(s, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = s.Uniform(-10, 10)
+		}
+		b := a.MulVec(x)
+
+		got, err := SolveVec(a, b)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+		}
+		if d := maxAbsDiff(got, x); d > 1e-9 {
+			t.Fatalf("trial %d (n=%d): SolveVec off by %g", trial, n, d)
+		}
+
+		f, err := Factor(a)
+		if err != nil {
+			t.Fatalf("trial %d: factor: %v", trial, err)
+		}
+		if d := maxAbsDiff(f.SolveVec(b), x); d > 1e-9 {
+			t.Fatalf("trial %d: factored solve diverges from one-shot", trial)
+		}
+	}
+}
+
+// TestPropertyLUInverse: A · A⁻¹ = I for random dominant A.
+func TestPropertyLUInverse(t *testing.T) {
+	s := rng.NewNamed(2, "lu-inverse")
+	for trial := 0; trial < 100; trial++ {
+		n := s.IntRange(1, 8)
+		a := randDominant(s, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !a.Mul(inv).Equal(Identity(n), 1e-9) {
+			t.Fatalf("trial %d (n=%d): A·A⁻¹ far from identity", trial, n)
+		}
+	}
+}
+
+// TestPropertyQRMatchesLU: on square well-conditioned systems the QR and LU
+// paths must agree; QR additionally handles the tall case below.
+func TestPropertyQRMatchesLU(t *testing.T) {
+	s := rng.NewNamed(3, "qr-lu")
+	for trial := 0; trial < 100; trial++ {
+		n := s.IntRange(1, 8)
+		a := randDominant(s, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = s.Uniform(-5, 5)
+		}
+		lu, err := SolveVec(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: lu: %v", trial, err)
+		}
+		qr, err := FactorQR(a).SolveVec(b)
+		if err != nil {
+			t.Fatalf("trial %d: qr: %v", trial, err)
+		}
+		if d := maxAbsDiff(lu, qr); d > 1e-8 {
+			t.Fatalf("trial %d (n=%d): QR and LU disagree by %g", trial, n, d)
+		}
+	}
+}
+
+// TestPropertyLeastSquaresNormalEquations: the least-squares solution of a
+// random tall system satisfies the (ridge-regularized) normal equations
+// (AᵀA + λI) x = Aᵀ b — equivalently, the residual is orthogonal to the
+// column space when λ = 0.
+func TestPropertyLeastSquaresNormalEquations(t *testing.T) {
+	s := rng.NewNamed(4, "lsq")
+	for trial := 0; trial < 100; trial++ {
+		n := s.IntRange(1, 6)
+		m := n + s.IntRange(1, 10)
+		a := randMatrix(s, m, n)
+		// Lift the smallest singular value away from zero so the residual
+		// tolerance stays tight: add a scaled identity into the top block.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+2)
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = s.Uniform(-5, 5)
+		}
+		ridge := 0.0
+		if trial%2 == 1 {
+			ridge = s.Uniform(0.01, 1)
+		}
+		x, err := LeastSquares(a, b, ridge)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		at := a.T()
+		lhs := at.Mul(a).MulVec(x)
+		for i := 0; i < n; i++ {
+			lhs[i] += ridge * x[i]
+		}
+		rhs := at.MulVec(b)
+		if d := maxAbsDiff(lhs, rhs); d > 1e-8 {
+			t.Fatalf("trial %d (m=%d n=%d ridge=%g): normal equations violated by %g",
+				trial, m, n, ridge, d)
+		}
+	}
+}
+
+// dareResidual returns ‖AᵀXA − X − AᵀXB(R+BᵀXB)⁻¹BᵀXA + Q‖∞.
+func dareResidual(t *testing.T, a, b, q, r, x *Matrix) float64 {
+	t.Helper()
+	at, bt := a.T(), b.T()
+	g := r.Add(bt.Mul(x).Mul(b))
+	gInv, err := Inverse(g)
+	if err != nil {
+		t.Fatalf("R + BᵀXB singular: %v", err)
+	}
+	next := at.Mul(x).Mul(a).
+		Sub(at.Mul(x).Mul(b).Mul(gInv).Mul(bt).Mul(x).Mul(a)).
+		Add(q)
+	return next.Sub(x).MaxAbs()
+}
+
+// TestPropertyDAREFixedPoint: SolveDARE's result is a true fixed point of
+// the Riccati map for random stable plants, and is symmetric positive
+// semidefinite (X ⪰ Q ≻ 0 on the diagonal).
+func TestPropertyDAREFixedPoint(t *testing.T) {
+	s := rng.NewNamed(5, "dare")
+	for trial := 0; trial < 40; trial++ {
+		n := s.IntRange(1, 5)
+		nu := s.IntRange(1, 3)
+		a := randMatrix(s, n, n)
+		// Scale A to spectral radius ~0.9: stable, but with enough dynamics
+		// that the fixed point is far from Q.
+		if rho := SpectralRadius(a); rho > 1e-6 {
+			a = a.Scale(0.9 / rho)
+		}
+		b := randMatrix(s, n, nu)
+		q := Identity(n)
+		r := Identity(nu).Scale(s.Uniform(0.1, 2))
+
+		x, err := SolveDARE(a, b, q, r, 1e-12, 20000)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d nu=%d): %v", trial, n, nu, err)
+		}
+		if res := dareResidual(t, a, b, q, r, x); res > 1e-7 {
+			t.Fatalf("trial %d (n=%d nu=%d): Riccati residual %g", trial, n, nu, res)
+		}
+		for i := 0; i < n; i++ {
+			if x.At(i, i) < q.At(i, i)-1e-9 {
+				t.Fatalf("trial %d: X diagonal %g below Q's %g", trial, x.At(i, i), q.At(i, i))
+			}
+			for j := 0; j < n; j++ {
+				if math.Abs(x.At(i, j)-x.At(j, i)) > 1e-8 {
+					t.Fatalf("trial %d: X not symmetric at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+// FuzzConfigIO ensures arbitrary machine-config bytes never panic the
+// reader, and that anything it accepts survives a write→read round trip
+// and can actually power a machine (the constructor and one step must not
+// panic either — a config that parses but explodes later is a parser bug).
+func FuzzConfigIO(f *testing.F) {
+	// Seed with the genuine presets plus near-miss corpus entries.
+	for _, cfg := range []Config{Sys1(), Sys2(), Sys3()} {
+		var buf bytes.Buffer
+		if err := cfg.WriteJSON(&buf); err == nil {
+			f.Add(buf.String())
+		}
+	}
+	f.Add(`{}`)
+	f.Add(`{"name":"x"}`)
+	f.Add(`{"name":"x","cores":-1}`)
+	f.Add(`{"name":"x","tdp":1e308,"cores":4}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, input string) {
+		cfg, err := ReadConfigJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted configs must round-trip: write → read → identical.
+		var buf bytes.Buffer
+		if err := cfg.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted config does not serialize: %v", err)
+		}
+		again, err := ReadConfigJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected an accepted config: %v", err)
+		}
+		if again != cfg {
+			t.Fatalf("round trip changed the config:\n got %+v\nwant %+v", again, cfg)
+		}
+		// And must be runnable.
+		m := NewMachine(cfg, 1)
+		m.SetInputs(Inputs{FreqGHz: cfg.FmaxGHz})
+		m.Step(workload.Idle{})
+	})
+}

@@ -198,8 +198,35 @@ type Machine struct {
 	burstLeft  int
 	burstPower float64
 
+	// Fault hooks (all inert by default; see internal/fault). They survive
+	// Reset: hooks are wiring, like the config, not run state.
+	inputFilter InputFilter
+	lagScale    float64 // <= 0 means nominal (1)
+	wrapJ       float64 // energy counter wraps modulo this; 0 disables
+
 	noise *rng.Stream
 }
+
+// InputFilter intercepts SetInputs commands before quantization. It
+// receives the current tick, the newly commanded inputs, and the command
+// currently in force, and returns what is actually committed — the seam
+// through which the fault-injection layer models dropped commands and
+// stuck knobs.
+type InputFilter func(tick int64, commanded, current Inputs) Inputs
+
+// SetInputFilter installs f as an interceptor of SetInputs commands (nil
+// removes it). With no filter installed, SetInputs behaves exactly as
+// before — the hook costs one nil check.
+func (m *Machine) SetInputFilter(f InputFilter) { m.inputFilter = f }
+
+// SetLagScale multiplies every actuation time constant by scale (> 1 means
+// knobs apply late). Values <= 0 or 1 restore nominal dynamics.
+func (m *Machine) SetLagScale(scale float64) { m.lagScale = scale }
+
+// SetEnergyWrap makes the RAPL-style energy counter returned by EnergyJ
+// wrap modulo wrapJ joules (0 disables). Real counters are finite-width;
+// an un-hardened reader observes a wrap as a negative energy delta.
+func (m *Machine) SetEnergyWrap(wrapJ float64) { m.wrapJ = wrapJ }
 
 // NewMachine builds a machine in its reset state. seed feeds the sensor and
 // model noise streams; two machines with the same seed behave identically.
@@ -232,6 +259,9 @@ func (m *Machine) Knobs() actuator.Set { return m.knobs }
 // SetInputs commands new actuator settings; values are quantized to the
 // legal ladders. The settings take effect gradually (first-order lag).
 func (m *Machine) SetInputs(in Inputs) {
+	if m.inputFilter != nil {
+		in = m.inputFilter(m.tick, in, m.cmd)
+	}
 	m.cmd = Inputs{
 		FreqGHz: m.knobs.DVFS.Quantize(in.FreqGHz),
 		Idle:    m.knobs.Idle.Quantize(in.Idle),
@@ -254,10 +284,14 @@ func (m *Machine) Tick() int64 { return m.tick }
 // EnergyJ returns the RAPL-style quantized cumulative energy counter for
 // the core domain.
 func (m *Machine) EnergyJ() float64 {
-	if m.cfg.RAPLQuantumJ <= 0 {
-		return m.energyJ
+	e := m.energyJ
+	if m.cfg.RAPLQuantumJ > 0 {
+		e = math.Floor(e/m.cfg.RAPLQuantumJ) * m.cfg.RAPLQuantumJ
 	}
-	return math.Floor(m.energyJ/m.cfg.RAPLQuantumJ) * m.cfg.RAPLQuantumJ
+	if m.wrapJ > 0 {
+		e = math.Mod(e, m.wrapJ)
+	}
+	return e
 }
 
 // TrueEnergyJ returns the unquantized energy (for tests and accounting).
@@ -283,10 +317,15 @@ type StepResult struct {
 func (m *Machine) Step(w workload.Workload) StepResult {
 	dt := m.cfg.TickSeconds
 
-	// Actuation lags: first-order approach to the commanded values.
-	m.eff.FreqGHz = lag(m.eff.FreqGHz, m.cmd.FreqGHz, dt, m.cfg.TauDVFS)
-	m.eff.Idle = lag(m.eff.Idle, m.cmd.Idle, dt, m.cfg.TauIdle)
-	m.eff.Balloon = lag(m.eff.Balloon, m.cmd.Balloon, dt, m.cfg.TauBalloon)
+	// Actuation lags: first-order approach to the commanded values. The
+	// lag scale is a fault hook (extra actuation latency); nominal is 1.
+	ls := m.lagScale
+	if ls <= 0 {
+		ls = 1
+	}
+	m.eff.FreqGHz = lag(m.eff.FreqGHz, m.cmd.FreqGHz, dt, ls*m.cfg.TauDVFS)
+	m.eff.Idle = lag(m.eff.Idle, m.cmd.Idle, dt, ls*m.cfg.TauIdle)
+	m.eff.Balloon = lag(m.eff.Balloon, m.cmd.Balloon, dt, ls*m.cfg.TauBalloon)
 
 	f := m.eff.FreqGHz
 	v := m.cfg.Voltage(f)

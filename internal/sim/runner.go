@@ -42,6 +42,11 @@ type RunSpec struct {
 	// starts; nothing is recorded and samplers are not fed. It models an
 	// always-on defense that an attacker can only observe mid-operation.
 	WarmupTicks int
+	// DefenseSensor overrides the defense-side power sensor (nil selects a
+	// fresh RAPLSensor on the machine, the paper's configuration). This is
+	// the seam through which the fault-injection layer interposes a
+	// fault.FaultySensor between the machine and the control loop.
+	DefenseSensor PowerSensor
 }
 
 // RunResult captures everything observable from one run.
@@ -77,7 +82,10 @@ func Run(m *Machine, w workload.Workload, p Policy, spec RunSpec) RunResult {
 	if spec.MaxTicks <= 0 {
 		spec.MaxTicks = 1 << 20
 	}
-	defSensor := NewRAPLSensor(m)
+	defSensor := spec.DefenseSensor
+	if defSensor == nil {
+		defSensor = NewRAPLSensor(m)
+	}
 	res := RunResult{FinishedTick: -1}
 	step := 0
 
@@ -87,7 +95,10 @@ func Run(m *Machine, w workload.Workload, p Policy, spec RunSpec) RunResult {
 	// Unrecorded warmup: the defense regulates the idle machine.
 	var idle workload.Idle
 	for tick := 0; tick < spec.WarmupTicks; tick++ {
-		m.Step(idle)
+		r := m.Step(idle)
+		// Feed the defense sensor per the PowerSensor contract (a no-op for
+		// the default RAPLSensor, whose state lives in the machine).
+		defSensor.Observe(r)
 		if (tick+1)%spec.ControlPeriodTicks == 0 {
 			pw := defSensor.ReadW()
 			step++
@@ -102,6 +113,7 @@ func Run(m *Machine, w workload.Workload, p Policy, spec RunSpec) RunResult {
 		r := m.Step(w)
 		res.TickPowerW = append(res.TickPowerW, r.PowerW)
 		res.TickWallW = append(res.TickWallW, r.WallW)
+		defSensor.Observe(r)
 		for _, s := range spec.Samplers {
 			s.Sensor.Observe(r)
 			if s.PeriodTicks > 0 && (tick+1)%s.PeriodTicks == 0 {

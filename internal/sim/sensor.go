@@ -37,6 +37,17 @@ func NewSensorMetrics(reg *telemetry.Registry, name string) *SensorMetrics {
 // the average power since the previous ReadW, as that sensor would report
 // it. Both the defense (every 20 ms) and the attacker (at their own
 // interval) read through sensors of this kind.
+//
+// Contract (read-after-observe semantics): a ReadW call reports power
+// averaged over exactly the ticks Observed since the previous ReadW, and
+// a ReadW with no intervening Observe (an empty window) returns 0.
+// Implementations differ in WHERE that window state lives — RAPLSensor's
+// counter lives in the machine, so its Observe is a no-op and the window
+// is delimited by the machine's tick/energy deltas, while OutletSensor and
+// EMSensor accumulate inside Observe — but callers must not depend on the
+// difference: always Observe every tick of the window, then ReadW once.
+// TestSensorReadAfterObserveContract enforces these semantics for both
+// sensor families.
 type PowerSensor interface {
 	Observe(r StepResult)
 	ReadW() float64

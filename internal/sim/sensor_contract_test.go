@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+// TestSensorReadAfterObserveContract enforces the PowerSensor contract for
+// both sensor families — RAPLSensor, whose window state lives in the
+// machine (Observe is a no-op), and OutletSensor/EMSensor, which accumulate
+// inside Observe. Callers (sim.Run, the attack pipelines) treat them
+// interchangeably, so the observable semantics must match:
+//
+//  1. a read with no Observed ticks since the previous read returns 0;
+//  2. a read after a window of Observed ticks returns a finite,
+//     non-negative value;
+//  3. reading resets the window — an immediate second read returns 0.
+func TestSensorReadAfterObserveContract(t *testing.T) {
+	cfg := Sys1()
+	cases := []struct {
+		name string
+		mk   func(m *Machine) PowerSensor
+	}{
+		{"rapl", func(m *Machine) PowerSensor { return NewRAPLSensor(m) }},
+		{"outlet", func(m *Machine) PowerSensor { return NewOutletSensor(cfg, 1) }},
+		{"em", func(m *Machine) PowerSensor { return NewEMSensor(cfg, 2) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMachine(cfg, 3)
+			s := tc.mk(m)
+
+			if v := s.ReadW(); v != 0 {
+				t.Fatalf("fresh sensor, empty window: ReadW = %g, want 0", v)
+			}
+
+			m.SetInputs(Inputs{FreqGHz: cfg.FmaxGHz})
+			for i := 0; i < 100; i++ {
+				s.Observe(m.Step(workload.Idle{}))
+			}
+			first := s.ReadW()
+			if math.IsNaN(first) || math.IsInf(first, 0) || first < 0 {
+				t.Fatalf("windowed read invalid: %g", first)
+			}
+
+			if v := s.ReadW(); v != 0 {
+				t.Fatalf("read immediately after read: %g, want 0 (window must reset)", v)
+			}
+
+			// The window restarts cleanly after the empty read.
+			for i := 0; i < 100; i++ {
+				s.Observe(m.Step(workload.Idle{}))
+			}
+			second := s.ReadW()
+			if math.IsNaN(second) || math.IsInf(second, 0) || second < 0 {
+				t.Fatalf("post-reset windowed read invalid: %g", second)
+			}
+		})
+	}
+}
+
+// TestRAPLReadMatchesEnergyDelta pins down the no-op-Observe side of the
+// asymmetry: RAPL's reading is exactly the machine's quantized energy delta
+// over the window — observing (or not) between reads changes nothing.
+func TestRAPLReadMatchesEnergyDelta(t *testing.T) {
+	cfg := Sys1()
+	m := NewMachine(cfg, 3)
+	m.SetInputs(Inputs{FreqGHz: cfg.FmaxGHz})
+	s := NewRAPLSensor(m)
+
+	e0, t0 := m.EnergyJ(), m.Tick()
+	for i := 0; i < 50; i++ {
+		// Deliberately NOT calling Observe: the RAPL window is delimited by
+		// the machine counter, not by Observe calls.
+		m.Step(workload.Idle{})
+	}
+	want := (m.EnergyJ() - e0) / (float64(m.Tick()-t0) * cfg.TickSeconds)
+	got := s.ReadW()
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RAPL read %g, counter delta implies %g", got, want)
+	}
+	if got <= 0 {
+		t.Fatal("an active machine must draw measurable power")
+	}
+}
+
+// TestAccumulatingSensorsNeedObserve pins down the other side: for the
+// accumulating family, ticks that were never Observed are invisible, no
+// matter how far the machine advanced.
+func TestAccumulatingSensorsNeedObserve(t *testing.T) {
+	cfg := Sys1()
+	m := NewMachine(cfg, 3)
+	m.SetInputs(Inputs{FreqGHz: cfg.FmaxGHz})
+	for _, s := range []PowerSensor{NewOutletSensor(cfg, 1), NewEMSensor(cfg, 2)} {
+		for i := 0; i < 50; i++ {
+			m.Step(workload.Idle{}) // machine advances, sensor never told
+		}
+		if v := s.ReadW(); v != 0 {
+			t.Fatalf("%T saw power without Observe: %g", s, v)
+		}
+	}
+}

@@ -38,6 +38,19 @@ type FlightRecord struct {
 	Clipped [3]bool `json:"clipped,omitempty"`
 	// StateNorm is the L2 norm of the controller's internal state.
 	StateNorm float64 `json:"state_norm"`
+	// Rejected marks a step whose raw sensor reading failed the engine's
+	// measurement guard (non-finite or implausible) and was replaced by a
+	// held value; MeasuredW then holds the substituted reading the
+	// controller actually consumed. Absent on nominal traces, so enabling
+	// the guard leaves fault-free traces byte-identical.
+	Rejected bool `json:"rejected,omitempty"`
+	// RawW is the rejected raw reading when it was finite (0 when the raw
+	// reading was NaN/±Inf, which JSON cannot carry). Only set alongside
+	// Rejected.
+	RawW float64 `json:"raw_w,omitempty"`
+	// StateReinit marks a step on which the guard re-initialized the
+	// controller state (saturation-aware blow-up recovery).
+	StateReinit bool `json:"state_reinit,omitempty"`
 }
 
 // FlightRecorder keeps the last capacity control-loop records in a ring
