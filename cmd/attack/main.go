@@ -103,7 +103,7 @@ func main() {
 
 	log.Printf("collecting %d traces × %d classes under %v on %s...",
 		*runs, len(classes), kind, cfg.Name)
-	start := time.Now()
+	start := time.Now() //maya:wallclock collection timing for the progress log only
 	ds, _ := defense.Collect(defense.CollectSpec{
 		Cfg:               cfg,
 		Design:            defense.NewDesign(kind, cfg, art, 20),
@@ -116,7 +116,7 @@ func main() {
 		Seed:              *seed,
 		Workers:           *parallel,
 	})
-	log.Printf("collected in %.1fs; training the MLP...", time.Since(start).Seconds())
+	log.Printf("collected in %.1fs; training the MLP...", time.Since(start).Seconds()) //maya:wallclock progress log
 
 	switch *attacker {
 	case "mlp":

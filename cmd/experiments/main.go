@@ -83,7 +83,7 @@ func main() {
 	}
 
 	entries := experiments.FilterSuite(experiments.Suite(), filter)
-	start := time.Now()
+	start := time.Now() //maya:wallclock suite timing for the summary line only
 	outs := experiments.RunSuite(context.Background(), entries, sc, *seed,
 		runner.Options{Workers: *parallel, Timeout: *timeout, Metrics: runner.NewMetrics(reg)})
 	failed := 0
@@ -98,7 +98,7 @@ func main() {
 		}
 	}
 	log.Printf("suite: %d experiments in %.1fs wall (parallel=%d)",
-		len(outs), time.Since(start).Seconds(), *parallel)
+		len(outs), time.Since(start).Seconds(), *parallel) //maya:wallclock summary line
 	if !*timing {
 		// The accounting has exactly one sink: the report section when
 		// -timing is set, stderr otherwise.

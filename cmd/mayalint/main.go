@@ -1,0 +1,121 @@
+// Command mayalint runs the project's static analyzers (internal/lint)
+// over the repository and fails on findings. It is the mechanical check
+// behind the determinism guarantees: wall-clock discipline, RNG-stream
+// ownership, map-iteration order, float comparisons, and hot-path
+// allocation hygiene.
+//
+// Usage:
+//
+//	mayalint [-json] [-json-file out.json] [-run regexp] [-list] [packages]
+//
+// Packages are go-style directory patterns ("./...", "./internal/core");
+// the default is "./...". Exit status is 0 when clean, 1 on findings, and
+// 2 on a usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"github.com/maya-defense/maya/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut  = flag.Bool("json", false, "write findings as JSON to stdout")
+		jsonFile = flag.String("json-file", "", "also write findings as JSON to this file (always written, even when clean)")
+		runExpr  = flag.String("run", "", "only run analyzers whose name matches this regexp")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		debug    = flag.Bool("debug", false, "print type-check warnings to stderr")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runExpr != "" {
+		re, err := regexp.Compile(*runExpr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mayalint: bad -run regexp: %v\n", err)
+			return 2
+		}
+		var kept []*lint.Analyzer
+		for _, a := range analyzers {
+			if re.MatchString(a.Name) {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mayalint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mayalint: %v\n", err)
+		return 2
+	}
+	if *debug {
+		for _, p := range pkgs {
+			for _, e := range p.TypeErrors {
+				fmt.Fprintf(os.Stderr, "mayalint: typecheck %s: %v\n", p.Path, e)
+			}
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	if diags == nil {
+		diags = []lint.Diagnostic{} // a clean run renders as [], not null
+	}
+	if *jsonFile != "" {
+		if err := writeJSON(*jsonFile, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "mayalint: %v\n", err)
+			return 2
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "mayalint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "mayalint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func writeJSON(path string, diags []lint.Diagnostic) error {
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

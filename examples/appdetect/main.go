@@ -42,7 +42,7 @@ func main() {
 	spec.Train.Epochs = 40
 
 	for _, kind := range []defense.Kind{defense.RandomInputs, defense.MayaGS} {
-		start := time.Now()
+		start := time.Now() //maya:wallclock training-time report only
 		fmt.Printf("\n== attacking %v: collecting 60 traces per class...\n", kind)
 		ds, _ := defense.Collect(defense.CollectSpec{
 			Cfg:          cfg,
@@ -57,7 +57,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("trained on %d examples in %.1fs\n", res.Examples, time.Since(start).Seconds())
+		fmt.Printf("trained on %d examples in %.1fs\n", res.Examples, time.Since(start).Seconds()) //maya:wallclock training-time report
 		fmt.Print(res.Confusion.String())
 		fmt.Printf("(chance would be %.0f%%)\n", 100*res.Chance)
 	}

@@ -37,7 +37,7 @@ func (k Knob) Quantize(v float64) float64 {
 	if v > k.Max {
 		v = k.Max
 	}
-	if k.Step == 0 {
+	if k.Step == 0 { //nolint:maya/floateq Step==0 is the unquantized-knob sentinel, set exactly
 		return v
 	}
 	n := math.Round((v - k.Min) / k.Step)
@@ -53,7 +53,7 @@ func (k Knob) Quantize(v float64) float64 {
 
 // Levels returns the number of legal settings.
 func (k Knob) Levels() int {
-	if k.Step == 0 {
+	if k.Step == 0 { //nolint:maya/floateq Step==0 is the unquantized-knob sentinel, set exactly
 		return 1
 	}
 	return int(math.Floor((k.Max-k.Min)/k.Step+1e-9)) + 1
@@ -73,7 +73,7 @@ func (k Knob) FromNorm(x float64) float64 {
 
 // ToNorm maps a knob setting to [0, 1].
 func (k Knob) ToNorm(v float64) float64 {
-	if k.Max == k.Min {
+	if k.Max == k.Min { //nolint:maya/floateq degenerate-range guard; Max and Min are exact config values
 		return 0
 	}
 	x := (v - k.Min) / (k.Max - k.Min)

@@ -101,6 +101,8 @@ func (k *Controller) Reset() {
 // Step consumes the tracking error Δy(T) = target − measured and returns
 // the next normalized inputs u ∈ [0,1]^nu. The returned slice is reused
 // across calls; callers must copy it if they retain it.
+//
+//maya:hotpath
 func (k *Controller) Step(deltaY float64) []float64 {
 	// Innovation: measurement is m = y − r = −Δy; predicted m̂ = C x̂ + d̂.
 	cx := 0.0
@@ -130,7 +132,7 @@ func (k *Controller) Step(deltaY float64) []float64 {
 		if clipped > 1 {
 			clipped = 1
 		}
-		if clipped != raw {
+		if clipped != raw { //nolint:maya/floateq clipped is raw or a clamp bound; equality is exact by construction
 			sat = true
 		}
 		k.uOut[j] = clipped

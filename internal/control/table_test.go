@@ -128,11 +128,11 @@ func TestTableStepIsFast(t *testing.T) {
 	for i := range errs {
 		errs[i] = r.Uniform(-10, 10)
 	}
-	start := time.Now()
+	start := time.Now() //maya:wallclock perf-regression guard measures the host
 	for i := 0; i < iters; i++ {
 		tc.Step(errs[i&255])
 	}
-	perStep := time.Since(start).Nanoseconds() / iters
+	perStep := time.Since(start).Nanoseconds() / iters //maya:wallclock perf-regression guard
 	if perStep > 200 {
 		t.Fatalf("table step %d ns; expected tens of ns", perStep)
 	}

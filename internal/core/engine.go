@@ -163,9 +163,14 @@ func (e *Engine) Reset(seed uint64) {
 	}
 }
 
-// Decide implements sim.Policy: one Maya wake-up.
+// Decide implements sim.Policy: one Maya wake-up. This is the per-tick
+// engine step, on the 20 ms control period; hotalloc keeps formatting and
+// boxing off it (the telemetry zero-alloc benchmark gate measures the same
+// property at run time).
+//
+//maya:hotpath
 func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
-	start := time.Now()
+	start := time.Now() //maya:wallclock overhead accounting (§VII-E); never feeds decisions
 	target := e.gen.Next()
 	ditherW := 0.0
 	if e.dither != nil && e.balloonGainW > 0 {
@@ -216,7 +221,7 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 			uhp := e.prevUd - e.pprevU
 			yhp := powerW - e.prevY
 			const mu, eps = 0.2, 1e-3
-			if uhp != 0 {
+			if uhp != 0 { //nolint:maya/floateq uhp is exactly 0 when no dither was applied
 				e.ghat += mu * uhp * (yhp - e.ghat*uhp) / (eps + uhp*uhp)
 			}
 			lo, hi := 0.25*e.balloonGainW, 4*e.balloonGainW
@@ -230,7 +235,7 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 		e.prevY = powerW
 		e.havePrevY = true
 	}
-	if ditherW != 0 {
+	if ditherW != 0 { //nolint:maya/floateq ditherW is set to exactly 0 when dither is off
 		// High-frequency mask component, actuated open-loop on the balloon,
 		// normalized by the adaptive gain estimate.
 		ud := ditherW / e.ghat
@@ -304,7 +309,7 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 		e.flight.Record(rec)
 	}
 
-	e.DecideTime += time.Since(start)
+	e.DecideTime += time.Since(start) //maya:wallclock overhead accounting (§VII-E)
 	e.Steps++
 	return sim.Inputs{FreqGHz: d, Idle: idle, Balloon: b}
 }

@@ -143,7 +143,7 @@ func twoMeansThreshold(x []float64) float64 {
 			break
 		}
 		nc0, nc1 := s0/float64(n0), s1/float64(n1)
-		if nc0 == c0 && nc1 == c1 {
+		if nc0 == c0 && nc1 == c1 { //nolint:maya/floateq fixed-point detection: stop when the estimate stops changing at all
 			break
 		}
 		c0, c1 = nc0, nc1

@@ -164,11 +164,11 @@ func TableI(sc Scale, seed uint64) (*TableIResult, error) {
 	minBatch := func(step func(i int)) int64 {
 		best := int64(math.MaxInt64)
 		for b := 0; b < batches; b++ {
-			start := time.Now()
+			start := time.Now() //maya:wallclock Table I step-cost measurement of the host
 			for i := 0; i < perBatch; i++ {
 				step(b*perBatch + i)
 			}
-			if ns := time.Since(start).Nanoseconds() / perBatch; ns < best {
+			if ns := time.Since(start).Nanoseconds() / perBatch; ns < best { //maya:wallclock Table I step-cost measurement
 				best = ns
 			}
 		}

@@ -124,7 +124,7 @@ func (in *Injector) Attach(m *sim.Machine) {
 	if in.plan.Counter.WrapJ > 0 {
 		m.SetEnergyWrap(in.plan.Counter.WrapJ)
 	}
-	if s := in.plan.Actuator.LagScale; s > 0 && s != 1 {
+	if s := in.plan.Actuator.LagScale; s > 0 && s != 1 { //nolint:maya/floateq LagScale is an exact config value; 1 means disabled
 		m.SetLagScale(s)
 	}
 	a := in.plan.Actuator

@@ -105,31 +105,36 @@ type Plan struct {
 
 // Empty reports whether the plan injects no faults at all (the name is
 // ignored). Wrapping components with an empty plan is guaranteed not to
-// perturb behaviour.
+// perturb behaviour. Plan fields are exact config values, never computed,
+// so zero tests are exact by construction.
 func (p Plan) Empty() bool {
 	s, c, a, t := p.Sensor, p.Counter, p.Actuator, p.Timing
-	return s.DropoutProb == 0 && s.SpikeProb == 0 && s.NonFiniteProb == 0 && s.StuckProb == 0 &&
-		c.WrapJ == 0 &&
-		a.DropProb == 0 && a.StuckProb == 0 && (a.LagScale == 0 || a.LagScale == 1) &&
-		t.MissProb == 0 && t.StaleProb == 0
+	return s.DropoutProb == 0 && s.SpikeProb == 0 && s.NonFiniteProb == 0 && s.StuckProb == 0 && //nolint:maya/floateq exact zero test of config values
+		c.WrapJ == 0 && //nolint:maya/floateq exact zero test of config values
+		a.DropProb == 0 && a.StuckProb == 0 && (a.LagScale == 0 || a.LagScale == 1) && //nolint:maya/floateq exact zero/one test of config values
+		t.MissProb == 0 && t.StaleProb == 0 //nolint:maya/floateq exact zero test of config values
 }
 
 // Validate checks that probabilities are in [0, 1] and magnitudes are
-// non-negative.
+// non-negative. Fields are checked in a fixed order so the reported
+// violation (and therefore the error text) is the same on every run.
 func (p Plan) Validate() error {
-	probs := map[string]float64{
-		"sensor.dropout_prob":    p.Sensor.DropoutProb,
-		"sensor.spike_prob":      p.Sensor.SpikeProb,
-		"sensor.non_finite_prob": p.Sensor.NonFiniteProb,
-		"sensor.stuck_prob":      p.Sensor.StuckProb,
-		"actuator.drop_prob":     p.Actuator.DropProb,
-		"actuator.stuck_prob":    p.Actuator.StuckProb,
-		"timing.miss_prob":       p.Timing.MissProb,
-		"timing.stale_prob":      p.Timing.StaleProb,
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"sensor.dropout_prob", p.Sensor.DropoutProb},
+		{"sensor.spike_prob", p.Sensor.SpikeProb},
+		{"sensor.non_finite_prob", p.Sensor.NonFiniteProb},
+		{"sensor.stuck_prob", p.Sensor.StuckProb},
+		{"actuator.drop_prob", p.Actuator.DropProb},
+		{"actuator.stuck_prob", p.Actuator.StuckProb},
+		{"timing.miss_prob", p.Timing.MissProb},
+		{"timing.stale_prob", p.Timing.StaleProb},
 	}
-	for name, v := range probs {
-		if v < 0 || v > 1 {
-			return fmt.Errorf("fault: %s %g outside [0, 1]", name, v)
+	for _, pr := range probs {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: %s %g outside [0, 1]", pr.name, pr.v)
 		}
 	}
 	switch {

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestMayaDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//maya:wallclock", "wallclock", true},
+		{"//maya:wallclock measures the host by design", "wallclock", true},
+		{"//maya:hotpath", "hotpath", true},
+		{"//maya:", "", false},
+		{"// maya:wallclock", "", false}, // directives are not prose; no space
+		{"//nolint:maya/floateq", "", false},
+		{"// plain comment", "", false},
+	}
+	for _, tc := range cases {
+		name, ok := mayaDirective(tc.text)
+		if name != tc.name || ok != tc.ok {
+			t.Errorf("mayaDirective(%q) = %q, %v; want %q, %v", tc.text, name, ok, tc.name, tc.ok)
+		}
+	}
+}
+
+func TestNolintNames(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+	}{
+		{"//nolint:maya/floateq", []string{"floateq"}},
+		{"//nolint:maya/floateq exact zero test", []string{"floateq"}},
+		{"//nolint:maya/floateq,maya/maprange reason", []string{"floateq", "maprange"}},
+		{"//nolint:gosec,maya/detrand", []string{"detrand"}}, // other linters' entries ignored
+		{"//nolint:gosec", nil},
+		{"//nolint", nil},
+		{"// not a directive", nil},
+	}
+	for _, tc := range cases {
+		names, ok := nolintNames(tc.text)
+		if !reflect.DeepEqual(names, tc.names) || ok != (tc.names != nil) {
+			t.Errorf("nolintNames(%q) = %v, %v; want %v", tc.text, names, ok, tc.names)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "floateq", File: "x.go", Line: 3, Col: 7, Message: "msg"}
+	if got, want := d.String(), "x.go:3:7: floateq: msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestOnlyWhitespaceBefore(t *testing.T) {
+	src := []byte("a := 1 // trailing\n\t// standalone\n")
+	type pos struct {
+		offset     int
+		standalone bool
+	}
+	for _, tc := range []pos{
+		{offset: 7, standalone: false}, // the trailing comment
+		{offset: 20, standalone: true}, // the indented standalone comment
+		{offset: 0, standalone: true},  // start of file
+	} {
+		got := onlyWhitespaceBefore(src, token.Position{Offset: tc.offset})
+		if got != tc.standalone {
+			t.Errorf("offset %d: standalone = %v, want %v", tc.offset, got, tc.standalone)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package lint is mayalint: a stdlib-only static-analysis framework
+// (go/parser, go/ast, go/types — no external dependencies) with
+// project-specific analyzers that mechanically enforce the invariants
+// Maya's security argument rests on. The paper's §IV reproducibility claim
+// — the mask stream is an exact function of a secret seed — and this
+// repository's byte-identical experiment reports are properties the Go
+// compiler cannot check; these analyzers gate them at review time.
+//
+// # Analyzers
+//
+//   - detwallclock: time.Now/time.Since outside //maya:wallclock sites.
+//   - detrand: any import of math/rand; use internal/rng.
+//   - maprange: order-sensitive work (append, output, JSON, telemetry)
+//     inside a map range.
+//   - rngshare: a *rng.Stream crossing a goroutine boundary without child
+//     derivation.
+//   - floateq: ==/!= on floats in non-test code.
+//   - hotalloc: fmt, string building, or interface boxing inside
+//     //maya:hotpath functions.
+//
+// # Directive syntax
+//
+// Annotations bless sites that are legitimate by design:
+//
+//	//maya:wallclock <optional reason>
+//	//maya:hotpath   <optional reason>
+//
+// A maya: directive in a function's doc comment covers the whole function
+// (closures included). On a line of its own it covers the next source
+// line; trailing a statement it covers that line. //maya:wallclock marks
+// overhead accounting that measures the host and never feeds decisions;
+// //maya:hotpath opts a function into hotalloc's allocation rules.
+//
+// Suppressions silence one finding, with an unused-suppression check so
+// stale annotations are themselves findings:
+//
+//	x := a == b //nolint:maya/floateq exact zero test of a value set to 0
+//	//nolint:maya/maprange order is folded through a commutative sum
+//	y := collect(m)
+//
+// The list form //nolint:maya/a,maya/b is accepted; entries for other
+// linters in the same comment are ignored. Suppressions naming an unknown
+// analyzer, or matching no finding, are reported under the pseudo-analyzer
+// "nolint", which cannot itself be suppressed.
+//
+// # Running
+//
+//	go run ./cmd/mayalint ./...            # text findings, exit 1 if any
+//	go run ./cmd/mayalint -json ./...      # machine-readable findings
+//	scripts/lint.sh                        # CI entry point
+//
+// Loading is lenient: files that fail to type-check perfectly still get
+// analyzed with partial type information, so one broken file cannot mask
+// findings elsewhere.
+package lint

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point operands in non-test
+// code. Accumulated rounding differences are how "the same" control
+// trajectory diverges between runs or hosts; comparisons should use a
+// tolerance. The rare legitimate exact comparisons — degenerate-range
+// guards, has-this-been-set-at-all zero tests of values assigned exactly —
+// carry a //nolint:maya/floateq with a reason.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "==/!= on floats in non-test code; compare with a tolerance or suppress with a reason",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pkg.typeOf(bin.X)) && !isFloat(pkg.typeOf(bin.Y)) {
+				return true
+			}
+			// A comparison folded to a constant is decided at compile time.
+			if tv, ok := pkg.Info.Types[bin]; ok && tv.Value != nil {
+				return true
+			}
+			pass.Reportf(bin.OpPos, "float %s comparison; use a tolerance (exact comparisons diverge across runs and hosts)", bin.Op)
+			return true
+		})
+	}
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc enforces allocation hygiene in functions annotated
+// //maya:hotpath — the telemetry instruments and the per-tick engine step,
+// which run every 20 ms control period and are covered by a zero-alloc
+// benchmark gate. Inside a hot path the analyzer flags:
+//
+//   - calls into fmt (formatting allocates and reflects);
+//   - string concatenation (every + on non-constant strings allocates);
+//   - boxing a concrete value into an interface — as a call argument, an
+//     assignment, or a return value — which allocates once the value
+//     escapes.
+//
+// The benchmark gate catches regressions at run time on one input; this
+// catches them at review time on every path.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//maya:hotpath functions must not call fmt, build strings, or box into interfaces",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pkg.funcDirective(fd, DirHotpath) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	pkg := pass.Pkg
+	var results *types.Tuple
+	if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		results = obj.Type().(*types.Signature).Results()
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, v)
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && isString(pkg.typeOf(v)) && !isConstant(pkg, v) {
+				pass.Reportf(v.OpPos, "string concatenation in hot path %s allocates; precompute or use a fixed buffer", fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true // multi-value form; types come from the call
+			}
+			for i, rhs := range v.Rhs {
+				lhsType := pkg.typeOf(v.Lhs[i])
+				if v.Tok == token.DEFINE {
+					if id, ok := v.Lhs[i].(*ast.Ident); ok {
+						if obj := pkg.Info.Defs[id]; obj != nil {
+							lhsType = obj.Type()
+						}
+					}
+				}
+				reportBox(pass, fd, rhs, lhsType, "assignment")
+			}
+		case *ast.ReturnStmt:
+			if results == nil || len(v.Results) != results.Len() {
+				return true
+			}
+			for i, res := range v.Results {
+				reportBox(pass, fd, res, results.At(i).Type(), "return")
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags fmt calls and arguments boxed into interface
+// parameters.
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	pkg := pass.Pkg
+	if pkgPath, name := pkg.callPkgFunc(call); pkgPath == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path %s allocates and reflects; move formatting off the per-tick path", name, fd.Name.Name)
+		return
+	}
+	// Conversions: T(x) where T is an interface type boxes x.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && types.IsInterface(tv.Type) {
+			reportBox(pass, fd, call.Args[0], tv.Type, "conversion")
+		}
+		return
+	}
+	sig, ok := typeAsSignature(pkg.typeOf(call.Fun))
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding a slice, no per-element boxing
+			}
+			paramType = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		}
+		reportBox(pass, fd, arg, paramType, "argument")
+	}
+}
+
+func reportBox(pass *Pass, fd *ast.FuncDecl, expr ast.Expr, target types.Type, context string) {
+	pkg := pass.Pkg
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	argType := pkg.typeOf(expr)
+	if argType == nil || types.IsInterface(argType.Underlying()) {
+		return
+	}
+	if b, ok := argType.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	pass.Reportf(expr.Pos(), "%s boxes %s into %s in hot path %s; boxing allocates when the value escapes", context, argType, target, fd.Name.Name)
+}
+
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstant(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Analyzer is one project rule: a name (used in //nolint:maya/<name>
+// directives and -run filters), a one-line description, and a Run function
+// that inspects a type-checked package and reports findings through the
+// Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Diagnostic is one finding, positioned for editors and CI annotations.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// NolintName is the pseudo-analyzer under which the framework reports
+// problems with suppression directives themselves (unused or unknown).
+// It cannot be suppressed.
+const NolintName = "nolint"
+
+// Analyzers returns every analyzer in the standard order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetWallclock,
+		DetRand,
+		MapRange,
+		RNGShare,
+		FloatEq,
+		HotAlloc,
+	}
+}
+
+// Run applies the analyzers to every package, resolves //nolint:maya/<name>
+// suppressions, reports unused or malformed suppressions, and returns the
+// surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &raw})
+		}
+		out = append(out, suppress(pkg, raw, known)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// suppress drops diagnostics covered by a nolint directive and reports
+// directives that suppressed nothing (so stale annotations rot away instead
+// of silently masking future findings) or that name no known analyzer.
+func suppress(pkg *Package, raw []Diagnostic, ran map[string]bool) []Diagnostic {
+	registered := map[string]bool{}
+	for _, a := range Analyzers() {
+		registered[a.Name] = true
+	}
+	dirs := pkg.directives()
+	var out []Diagnostic
+	for _, d := range raw {
+		if nd := dirs.suppressing(d); nd != nil {
+			nd.used = true
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, nd := range dirs.nolints {
+		relevant := false
+		for _, name := range nd.names {
+			if !registered[name] {
+				out = append(out, Diagnostic{
+					Analyzer: NolintName, File: nd.file, Line: nd.line, Col: nd.col,
+					Message: fmt.Sprintf("nolint names unknown analyzer maya/%s", name),
+				})
+			}
+			// A directive can only prove itself unused against analyzers
+			// that actually ran; skip the check when filtering to a subset.
+			if ran[name] {
+				relevant = true
+			}
+		}
+		if !nd.used && relevant {
+			out = append(out, Diagnostic{
+				Analyzer: NolintName, File: nd.file, Line: nd.line, Col: nd.col,
+				Message: "unused nolint suppression (no finding on this line)",
+			})
+		}
+	}
+	return out
+}
+
+// enclosingFunc returns the innermost function declaration containing pos,
+// or nil. Function literals belong to their enclosing declaration.
+func enclosingFunc(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos < fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

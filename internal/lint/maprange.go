@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags ranging over a map when the loop body does something
+// order-sensitive: appends to a slice, writes output (fmt/log calls, Write*
+// methods), encodes JSON, or records telemetry. Go randomizes map iteration
+// order per run, so any of these turns a byte-identical report into a
+// flaky one. Order-insensitive map loops (sums, max scans, set membership)
+// are fine and not flagged.
+//
+// The canonical fix — collect the keys, sort, iterate the sorted slice —
+// is recognized: an append inside the loop is allowed when the destination
+// slice is sorted by a sort.*/slices.* call later in the same block.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "order-sensitive work inside a map range makes output depend on randomized iteration order",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch v := n.(type) {
+			case *ast.BlockStmt:
+				list = v.List
+			case *ast.CaseClause:
+				list = v.Body
+			case *ast.CommClause:
+				list = v.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs := asRange(stmt)
+				if rs == nil {
+					continue
+				}
+				if !mapUnder(pkg.typeOf(rs.X)) {
+					continue
+				}
+				checkMapRangeBody(pass, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+func asRange(stmt ast.Stmt) *ast.RangeStmt {
+	for {
+		switch v := stmt.(type) {
+		case *ast.RangeStmt:
+			return v
+		case *ast.LabeledStmt:
+			stmt = v.Stmt
+		default:
+			return nil
+		}
+	}
+}
+
+func mapUnder(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody reports order-sensitive operations in the body of a
+// map-range statement; rest is the statement list following the loop in
+// the same block, scanned for the sort-after-append blessing.
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	pkg := pass.Pkg
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case pkg.isBuiltin(call, "append"):
+			if len(call.Args) == 0 {
+				return true
+			}
+			dst := rootIdent(call.Args[0])
+			if dst != nil && sortedAfter(pkg, dst.Name, rest) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "append inside a map range builds a slice in randomized order; collect keys and sort, or sort the result in the same block")
+		default:
+			if why := orderSensitiveCall(pkg, call); why != "" {
+				pass.Reportf(call.Pos(), "%s inside a map range happens in randomized order; iterate sorted keys instead", why)
+			}
+		}
+		return true
+	})
+}
+
+// orderSensitiveCall classifies calls whose per-iteration effect is visible
+// in output: printing, error/string building, direct writes, JSON encoding,
+// and telemetry recording.
+func orderSensitiveCall(pkg *Package, call *ast.CallExpr) string {
+	if pkgPath, name := pkg.callPkgFunc(call); pkgPath != "" {
+		switch pkgPath {
+		case "fmt", "log":
+			return "call to " + pkgPath + "." + name
+		case "encoding/json":
+			if name == "Marshal" || name == "MarshalIndent" {
+				return "json." + name
+			}
+		}
+	}
+	if recvPath, name, ok := pkg.isMethodCall(call); ok {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return "method " + name + " call"
+		case "Inc", "Add", "Set", "Observe", "Record":
+			if pathHasSuffix(recvPath, "internal/telemetry") {
+				return "telemetry " + name + " call"
+			}
+		}
+	}
+	return ""
+}
+
+// sortedAfter reports whether a statement after the loop both mentions the
+// named slice and calls into sort or slices — the collect-then-sort idiom.
+func sortedAfter(pkg *Package, name string, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		mentionsName, mentionsSort := false, false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.Ident:
+				if v.Name == name {
+					mentionsName = true
+				}
+			case *ast.CallExpr:
+				if pkgPath, _ := pkg.callPkgFunc(v); pkgPath == "sort" || pkgPath == "slices" {
+					mentionsSort = true
+				}
+			}
+			return true
+		})
+		if mentionsName && mentionsSort {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+package lint
+
+import "go/ast"
+
+// RNGShare flags a *rng.Stream crossing a goroutine boundary: captured by a
+// go-statement closure, passed as a go-call argument, or sent over a
+// channel. Streams are single-owner by contract — concurrent draws race,
+// and even a mutex would make the draw interleaving (and therefore every
+// result derived from it) schedule-dependent. Goroutines must own a
+// derived stream instead: rng.NewChild(seed, i) / parent.ChildAt(i).
+//
+// Capturing a parent stream only to derive per-index children inside the
+// goroutine via ChildAt is the documented safe pattern and is allowed.
+var RNGShare = &Analyzer{
+	Name: "rngshare",
+	Doc:  "a *rng.Stream crossing a goroutine boundary must be a derived child stream",
+	Run:  runRNGShare,
+}
+
+func runRNGShare(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.SendStmt:
+				if isRNGStream(pkg.typeOf(v.Value)) {
+					pass.Reportf(v.Value.Pos(), "*rng.Stream sent over a channel; the receiver cannot know the stream's draw position — send a seed or derive a child stream")
+				}
+			case *ast.GoStmt:
+				checkGoCall(pass, v.Call)
+			}
+			return true
+		})
+	}
+}
+
+func checkGoCall(pass *Pass, call *ast.CallExpr) {
+	pkg := pass.Pkg
+	for _, arg := range call.Args {
+		if isRNGStream(pkg.typeOf(arg)) {
+			pass.Reportf(arg.Pos(), "*rng.Stream passed to a goroutine; draws would interleave with the owner — derive a child stream (rng.NewChild / ChildAt)")
+		}
+	}
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	// Free *rng.Stream variables of the closure: declared outside the
+	// literal but used inside it.
+	reported := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || reported[id.Name] {
+			return true
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil || !isRNGStream(obj.Type()) {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the closure; owned by the goroutine
+		}
+		if onlyChildAtUses(pkg, lit, id.Name) {
+			return true
+		}
+		reported[id.Name] = true
+		pass.Reportf(id.Pos(), "goroutine closure captures *rng.Stream %q; draws would interleave with the owner — derive a child stream (rng.NewChild / ChildAt)", id.Name)
+		return true
+	})
+}
+
+// onlyChildAtUses reports whether every use of the captured stream inside
+// the closure is a ChildAt call — the safe index-addressed derivation that
+// never advances the parent.
+func onlyChildAtUses(pkg *Package, lit *ast.FuncLit, name string) bool {
+	safe := true
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != name {
+			return true
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil || !isRNGStream(obj.Type()) {
+			return true
+		}
+		if !isChildAtReceiver(pkg, lit, id) {
+			safe = false
+		}
+		return true
+	})
+	return safe
+}
+
+// isChildAtReceiver reports whether id appears exactly as the receiver of a
+// r.ChildAt(...) call inside lit.
+func isChildAtReceiver(pkg *Package, lit *ast.FuncLit, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "ChildAt" {
+			return true
+		}
+		if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok && base == id {
+			found = true
+		}
+		return true
+	})
+	return found
+}

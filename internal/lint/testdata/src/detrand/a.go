@@ -1,0 +1,8 @@
+// Package detrand is a golden-test fixture for the math/rand import ban.
+package detrand
+
+import (
+	"math/rand" // want "import of math/rand; use internal/rng"
+)
+
+func draw() int { return rand.Intn(6) }

@@ -1,0 +1,7 @@
+package detrand
+
+import (
+	randv2 "math/rand/v2" // want "import of math/rand/v2; use internal/rng"
+)
+
+func drawV2() int { return randv2.IntN(6) }

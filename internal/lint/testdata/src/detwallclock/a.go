@@ -1,0 +1,29 @@
+// Package detwallclock is a golden-test fixture: every line carrying a
+// want comment must produce exactly that diagnostic, and no other line
+// may produce any.
+package detwallclock
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()      // want "wall-clock read time.Now outside a //maya:wallclock site"
+	return time.Since(start) // want "wall-clock read time.Since outside a //maya:wallclock site"
+}
+
+// blessedFunc measures the host by design; the doc directive covers the
+// whole function, including the closure.
+//
+//maya:wallclock overhead accounting, never feeds decisions
+func blessedFunc() time.Duration {
+	start := time.Now()
+	f := func() time.Duration { return time.Since(start) }
+	return f()
+}
+
+func blessedLines() time.Time {
+	//maya:wallclock a standalone directive covers the next line
+	t0 := time.Now()
+	t1 := time.Now() //maya:wallclock a trailing directive covers its own line
+	_ = t1
+	return t0
+}

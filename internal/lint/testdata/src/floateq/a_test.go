@@ -1,0 +1,12 @@
+package floateq
+
+import "testing"
+
+// Exact comparisons are allowed in test files: asserting bit-exact
+// reproducibility is precisely what the determinism tests do.
+func TestExactIsFineInTests(t *testing.T) {
+	a, b := 0.5, 0.5
+	if a != b {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,40 @@
+// Package hotalloc is a golden-test fixture for hot-path allocation
+// hygiene.
+package hotalloc
+
+import "fmt"
+
+func sink(v interface{})      { _ = v }
+func sinkMany(vs ...any)      { _ = vs }
+func passthrough(vs ...any)   { sinkMany(vs...) }
+func typed(s string, n int64) { _, _ = s, n }
+
+// step is the fixture's per-tick function.
+//
+//maya:hotpath
+func step(n int, name string) interface{} {
+	fmt.Println(n)  // want "fmt.Println in hot path step allocates and reflects"
+	s := name + "!" // want "string concatenation in hot path step allocates"
+	typed(s, 2)
+	sink(n)        // want "argument boxes int into"
+	sinkMany(1, s) // want "argument boxes int into" "argument boxes string into"
+
+	// Forwarding an existing slice does not box per element.
+	pre := []any{name}
+	sinkMany(pre...)
+
+	var box interface{}
+	box = n // want "assignment boxes int into"
+	_ = box
+	conv := interface{}(3.5) // want "conversion boxes float64 into"
+	_ = conv
+
+	return n // want "return boxes int into"
+}
+
+// cold is not annotated: the same constructs are legal off the hot path.
+func cold(n int, name string) interface{} {
+	fmt.Println(n)
+	sink(name + "!")
+	return n
+}

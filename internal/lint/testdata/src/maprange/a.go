@@ -1,0 +1,60 @@
+// Package maprange is a golden-test fixture for order-sensitive work
+// inside map ranges.
+package maprange
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/maya-defense/maya/internal/telemetry"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append inside a map range builds a slice in randomized order"
+	}
+	return keys
+}
+
+// goodSorted is the canonical collect-then-sort idiom; the append is
+// blessed by the sort call later in the same block.
+func goodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "call to fmt.Println inside a map range happens in randomized order"
+	}
+}
+
+func badWrites(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k)      // want "method WriteString call inside a map range"
+		b, _ := json.Marshal(k) // want "json.Marshal inside a map range"
+		_ = b
+	}
+}
+
+func badTelemetry(m map[string]int, c *telemetry.Counter) {
+	for range m {
+		c.Inc() // want "telemetry Inc call inside a map range"
+	}
+}
+
+// goodSum is order-insensitive and must not be flagged.
+func goodSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

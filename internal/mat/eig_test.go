@@ -7,7 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"math/rand"
+	"github.com/maya-defense/maya/internal/rng"
 )
 
 // sortEigs orders eigenvalues by (real, imag) for comparison.
@@ -88,12 +88,12 @@ func TestEigenvaluesCompanion(t *testing.T) {
 func TestEigenvaluesTraceDetInvariants(t *testing.T) {
 	// Σλ = trace, Πλ = det — for random matrices.
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		n := 2 + rng.Intn(6)
+		r := rng.New(uint64(seed))
+		n := 2 + r.Intn(6)
 		a := New(n, n)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
-				a.Set(i, j, rng.NormFloat64())
+				a.Set(i, j, r.NormFloat64())
 			}
 		}
 		eigs := Eigenvalues(a)
@@ -127,13 +127,13 @@ func TestEigenvaluesTraceDetInvariants(t *testing.T) {
 }
 
 func TestSpectralRadiusExactMatchesGelfand(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	r := rng.New(5)
 	for trial := 0; trial < 10; trial++ {
-		n := 3 + rng.Intn(5)
+		n := 3 + r.Intn(5)
 		a := New(n, n)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
-				a.Set(i, j, 0.4*rng.NormFloat64())
+				a.Set(i, j, 0.4*r.NormFloat64())
 			}
 		}
 		exact := SpectralRadiusExact(a)

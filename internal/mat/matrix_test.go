@@ -1,8 +1,8 @@
 package mat
 
 import (
+	"github.com/maya-defense/maya/internal/rng"
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -64,16 +64,16 @@ func TestMulKnown(t *testing.T) {
 }
 
 func TestMulVecMatchesMul(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	r := rng.New(1)
 	a := New(4, 6)
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 6; j++ {
-			a.Set(i, j, rng.NormFloat64())
+			a.Set(i, j, r.NormFloat64())
 		}
 	}
 	v := make([]float64, 6)
 	for i := range v {
-		v[i] = rng.NormFloat64()
+		v[i] = r.NormFloat64()
 	}
 	vm := New(6, 1)
 	for i, x := range v {
@@ -97,13 +97,13 @@ func TestMulVecMatchesMul(t *testing.T) {
 
 func TestTransposeInvolution(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		r := 1 + rng.Intn(6)
-		c := 1 + rng.Intn(6)
+		g := rng.New(uint64(seed))
+		r := 1 + g.Intn(6)
+		c := 1 + g.Intn(6)
 		a := New(r, c)
 		for i := 0; i < r; i++ {
 			for j := 0; j < c; j++ {
-				a.Set(i, j, rng.NormFloat64())
+				a.Set(i, j, g.NormFloat64())
 			}
 		}
 		return a.T().T().Equal(a, 0)
@@ -115,14 +115,14 @@ func TestTransposeInvolution(t *testing.T) {
 
 func TestAddSubScaleProperties(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		r := 1 + rng.Intn(5)
-		c := 1 + rng.Intn(5)
+		g := rng.New(uint64(seed))
+		r := 1 + g.Intn(5)
+		c := 1 + g.Intn(5)
 		a, b := New(r, c), New(r, c)
 		for i := 0; i < r; i++ {
 			for j := 0; j < c; j++ {
-				a.Set(i, j, rng.NormFloat64())
-				b.Set(i, j, rng.NormFloat64())
+				a.Set(i, j, g.NormFloat64())
+				b.Set(i, j, g.NormFloat64())
 			}
 		}
 		// (a+b)-b == a and 2a == a+a
@@ -198,13 +198,13 @@ func TestCloneIndependence(t *testing.T) {
 
 func TestMulAssociativity(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		n := 2 + rng.Intn(4)
+		r := rng.New(uint64(seed))
+		n := 2 + r.Intn(4)
 		mk := func() *Matrix {
 			m := New(n, n)
 			for i := 0; i < n; i++ {
 				for j := 0; j < n; j++ {
-					m.Set(i, j, rng.NormFloat64())
+					m.Set(i, j, r.NormFloat64())
 				}
 			}
 			return m

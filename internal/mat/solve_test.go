@@ -2,17 +2,17 @@ package mat
 
 import (
 	"errors"
+	"github.com/maya-defense/maya/internal/rng"
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
 )
 
-func randSquare(rng *rand.Rand, n int) *Matrix {
+func randSquare(r *rng.Stream, n int) *Matrix {
 	m := New(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			m.Set(i, j, rng.NormFloat64())
+			m.Set(i, j, r.NormFloat64())
 		}
 		m.Set(i, i, m.At(i, i)+float64(n)) // diagonal dominance: well conditioned
 	}
@@ -33,12 +33,12 @@ func TestSolveVecKnown(t *testing.T) {
 
 func TestSolveRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		n := 1 + rng.Intn(8)
-		a := randSquare(rng, n)
+		r := rng.New(uint64(seed))
+		n := 1 + r.Intn(8)
+		a := randSquare(r, n)
 		want := make([]float64, n)
 		for i := range want {
-			want[i] = rng.NormFloat64()
+			want[i] = r.NormFloat64()
 		}
 		b := a.MulVec(want)
 		got, err := SolveVec(a, b)
@@ -65,8 +65,8 @@ func TestSolveSingular(t *testing.T) {
 }
 
 func TestInverse(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	a := randSquare(rng, 5)
+	r := rng.New(7)
+	a := randSquare(r, 5)
 	inv, err := Inverse(a)
 	if err != nil {
 		t.Fatal(err)
@@ -97,9 +97,9 @@ func TestDet(t *testing.T) {
 }
 
 func TestSolveMatrixRHS(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
-	a := randSquare(rng, 4)
-	x := randSquare(rng, 4)
+	r := rng.New(3)
+	a := randSquare(r, 4)
+	x := randSquare(r, 4)
 	b := a.Mul(x)
 	got, err := Solve(a, b)
 	if err != nil {
@@ -128,15 +128,15 @@ func TestQRLeastSquaresExactSystem(t *testing.T) {
 
 func TestLeastSquaresResidualOrthogonality(t *testing.T) {
 	// The LS residual must be orthogonal to the column space of A.
-	rng := rand.New(rand.NewSource(11))
+	r := rng.New(11)
 	m, n := 40, 5
 	a := New(m, n)
 	b := make([]float64, m)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
-			a.Set(i, j, rng.NormFloat64())
+			a.Set(i, j, r.NormFloat64())
 		}
-		b[i] = rng.NormFloat64()
+		b[i] = r.NormFloat64()
 	}
 	x, err := LeastSquares(a, b, 0)
 	if err != nil {
@@ -156,15 +156,15 @@ func TestLeastSquaresResidualOrthogonality(t *testing.T) {
 }
 
 func TestLeastSquaresRidgeShrinks(t *testing.T) {
-	rng := rand.New(rand.NewSource(21))
+	r := rng.New(21)
 	m, n := 30, 4
 	a := New(m, n)
 	b := make([]float64, m)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
-			a.Set(i, j, rng.NormFloat64())
+			a.Set(i, j, r.NormFloat64())
 		}
-		b[i] = rng.NormFloat64()
+		b[i] = r.NormFloat64()
 	}
 	x0, err := LeastSquares(a, b, 0)
 	if err != nil {
@@ -186,16 +186,16 @@ func TestLeastSquaresRidgeShrinks(t *testing.T) {
 
 func TestQRMatchesNormalEquations(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		m := 10 + rng.Intn(20)
-		n := 2 + rng.Intn(4)
+		r := rng.New(uint64(seed))
+		m := 10 + r.Intn(20)
+		n := 2 + r.Intn(4)
 		a := New(m, n)
 		b := make([]float64, m)
 		for i := 0; i < m; i++ {
 			for j := 0; j < n; j++ {
-				a.Set(i, j, rng.NormFloat64())
+				a.Set(i, j, r.NormFloat64())
 			}
-			b[i] = rng.NormFloat64()
+			b[i] = r.NormFloat64()
 		}
 		xq, err := LeastSquares(a, b, 0)
 		if err != nil {

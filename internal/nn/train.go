@@ -148,7 +148,7 @@ func (m *MLP) backward(ex Example, acts, deltas [][]float64, gw []*dense, gb [][
 		g := gw[l]
 		for i := 0; i < w.rows; i++ {
 			xi := in[i]
-			if xi == 0 {
+			if xi == 0 { //nolint:maya/floateq sparsity skip: one-hot inputs are exactly zero
 				continue
 			}
 			row := g.w[i*w.cols : (i+1)*w.cols]

@@ -35,7 +35,7 @@ func Line(x []float64, cols, rows int) string {
 		minV = math.Min(minV, v)
 		maxV = math.Max(maxV, v)
 	}
-	if maxV == minV {
+	if maxV == minV { //nolint:maya/floateq degenerate-range guard for a flat series
 		maxV = minV + 1
 	}
 	var b strings.Builder
@@ -80,7 +80,7 @@ func Overlay(a, b []float64, cols, rows int) string {
 		minV = math.Min(minV, math.Min(da[i], db[i]))
 		maxV = math.Max(maxV, math.Max(da[i], db[i]))
 	}
-	if maxV == minV {
+	if maxV == minV { //nolint:maya/floateq degenerate-range guard for a flat series
 		maxV = minV + 1
 	}
 	var sb strings.Builder
@@ -122,7 +122,7 @@ func Histogram(x []float64, bins, width int) string {
 		minV = math.Min(minV, v)
 		maxV = math.Max(maxV, v)
 	}
-	if maxV == minV {
+	if maxV == minV { //nolint:maya/floateq degenerate-range guard for a flat series
 		maxV = minV + 1
 	}
 	counts := make([]int, bins)

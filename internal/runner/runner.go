@@ -149,7 +149,7 @@ func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) []Result[T] {
 		workers = len(jobs)
 	}
 
-	poolStart := time.Now()
+	poolStart := time.Now() //maya:wallclock queue-wait metrics baseline; never feeds results
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -200,7 +200,7 @@ func runJob[T any](ctx context.Context, opts Options, poolStart time.Time, i int
 	if m := opts.Metrics; m != nil {
 		m.JobsStarted.Inc()
 		m.InFlight.Add(1)
-		m.QueueWait.Observe(time.Since(poolStart).Seconds())
+		m.QueueWait.Observe(time.Since(poolStart).Seconds()) //maya:wallclock queue-wait metrics
 		defer func() {
 			m.InFlight.Add(-1)
 			m.JobsDone.Inc()
@@ -223,26 +223,27 @@ func runJob[T any](ctx context.Context, opts Options, poolStart time.Time, i int
 		jctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
-	stream := rng.NewChild(opts.Seed, uint64(i))
-
 	// The job runs in its own goroutine so a timeout can abandon it; the
-	// buffered channel lets an abandoned job finish and be collected.
+	// buffered channel lets an abandoned job finish and be collected. The
+	// job's private stream is derived inside the goroutine that owns it —
+	// derivation is a pure function of (seed, index), so where it happens
+	// does not matter for determinism, but single ownership does for races.
 	ch := make(chan jobOutcome[T], 1)
-	start := time.Now()
+	start := time.Now() //maya:wallclock per-job wall accounting; never feeds results
 	go func() {
 		var o jobOutcome[T]
 		defer func() {
 			if p := recover(); p != nil {
 				o.err = &PanicError{Job: job.Name, Value: p, Stack: debug.Stack()}
 			}
-			o.wall = time.Since(start)
+			o.wall = time.Since(start) //maya:wallclock per-job wall accounting
 			ch <- o
 		}()
 		var before runtime.MemStats
 		if opts.AllocStats {
 			runtime.ReadMemStats(&before)
 		}
-		o.value, o.err = job.Run(jctx, stream)
+		o.value, o.err = job.Run(jctx, rng.NewChild(opts.Seed, uint64(i)))
 		if opts.AllocStats {
 			var after runtime.MemStats
 			runtime.ReadMemStats(&after)
@@ -255,7 +256,7 @@ func runJob[T any](ctx context.Context, opts Options, poolStart time.Time, i int
 		out.Value, out.Err, out.AllocBytes, out.Wall = o.value, o.err, o.alloc, o.wall
 	case <-jctx.Done():
 		out.Err = jctx.Err()
-		out.Wall = time.Since(start)
+		out.Wall = time.Since(start) //maya:wallclock abandoned-job wall accounting
 		out.TimedOut = opts.Timeout > 0 && ctx.Err() == nil
 	}
 }

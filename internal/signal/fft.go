@@ -190,7 +190,7 @@ func SpectralSpread(mags []float64) float64 {
 			peak = v
 		}
 	}
-	if peak == 0 {
+	if peak == 0 { //nolint:maya/floateq all-zero spectrum guard before normalization
 		return 0
 	}
 	count := 0

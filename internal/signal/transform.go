@@ -164,7 +164,7 @@ func Detrend(x []float64) []float64 {
 	st := fn * (fn - 1) / 2
 	stt := fn * (fn - 1) * (2*fn - 1) / 6
 	den := fn*stt - st*st
-	if den == 0 {
+	if den == 0 { //nolint:maya/floateq zero-denominator guard for a degenerate window
 		return x
 	}
 	slope := (fn*sty - st*sy) / den

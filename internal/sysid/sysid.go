@@ -267,7 +267,7 @@ func validationR2(m *Model, y []float64, u [][]float64, split int) float64 {
 		sst += dm * dm
 		count++
 	}
-	if count == 0 || sst == 0 {
+	if count == 0 || sst == 0 { //nolint:maya/floateq zero-variance guard before division
 		return math.Inf(-1)
 	}
 	return 1 - sse/sst

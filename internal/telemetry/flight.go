@@ -85,6 +85,8 @@ func NewFlightRecorder(capacity int) *FlightRecorder {
 }
 
 // Record appends one tick. It never allocates.
+//
+//maya:hotpath
 func (f *FlightRecorder) Record(r FlightRecord) {
 	f.ring[f.total%uint64(len(f.ring))] = r
 	f.total++

@@ -31,9 +31,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//maya:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n events.
+//
+//maya:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -48,9 +52,13 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//maya:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adds d to the gauge (compare-and-swap loop).
+//
+//maya:hotpath
 func (g *Gauge) Add(d float64) {
 	for {
 		old := g.bits.Load()
@@ -90,6 +98,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//maya:hotpath
 func (h *Histogram) Observe(v float64) {
 	// Binary search for the first bound >= v; small bucket lists make this
 	// a handful of comparisons with no calls out.

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -133,11 +134,53 @@ func TestRegistryIdempotentAndKindChecked(t *testing.T) {
 		t.Fatalf("first registration's bounds must win, got %v", h2.Bounds())
 	}
 	defer func() {
-		if recover() == nil {
+		p := recover()
+		if p == nil {
 			t.Fatal("kind mismatch should panic")
+		}
+		// The panicking path is a thin wrapper over the Try* variant; the
+		// payload must be the same structured error.
+		if _, ok := p.(*KindMismatchError); !ok {
+			t.Fatalf("panic payload = %T, want *KindMismatchError", p)
 		}
 	}()
 	reg.Gauge("x_total", "")
+}
+
+func TestRegistryTryVariants(t *testing.T) {
+	reg := NewRegistry()
+	c, err := reg.TryCounter("x_total", "help")
+	if err != nil || c == nil {
+		t.Fatalf("TryCounter: %v", err)
+	}
+	if c2, err := reg.TryCounter("x_total", ""); err != nil || c2 != c {
+		t.Fatalf("TryCounter re-registration: c2=%p err=%v", c2, err)
+	}
+	if g, err := reg.TryGauge("g", ""); err != nil || g == nil {
+		t.Fatalf("TryGauge: %v", err)
+	}
+	if h, err := reg.TryHistogram("h", "", []float64{1, 2}); err != nil || h == nil {
+		t.Fatalf("TryHistogram: %v", err)
+	}
+
+	_, err = reg.TryGauge("x_total", "")
+	var mismatch *KindMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("TryGauge on a counter name: err = %v, want *KindMismatchError", err)
+	}
+	if mismatch.Name != "x_total" || mismatch.Existing != "counter" || mismatch.Requested != "gauge" {
+		t.Fatalf("mismatch fields = %+v", mismatch)
+	}
+	if _, err := reg.TryCounter("h", ""); err == nil {
+		t.Fatal("TryCounter on a histogram name must fail")
+	}
+	if _, err := reg.TryHistogram("g", "", []float64{1}); err == nil {
+		t.Fatal("TryHistogram on a gauge name must fail")
+	}
+	// Errors must not leave a broken half-registration behind.
+	if c3, err := reg.TryCounter("x_total", ""); err != nil || c3 != c {
+		t.Fatalf("registry state after mismatch: c3=%p err=%v", c3, err)
+	}
 }
 
 func TestRegistrySnapshotAndReset(t *testing.T) {

@@ -54,47 +54,103 @@ func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*entry)}
 }
 
-func (r *Registry) lookup(name, help string, kind metricKind) *entry {
+// KindMismatchError reports a name registered twice with different
+// instrument kinds — almost always two components accidentally sharing a
+// metric name. It is returned by the Try* variants and carried by the
+// panic of the plain registration methods.
+type KindMismatchError struct {
+	Name      string
+	Existing  string // kind of the first registration
+	Requested string // kind of the conflicting request
+}
+
+// Error implements error.
+func (e *KindMismatchError) Error() string {
+	return fmt.Sprintf("telemetry: %q registered as %s, requested as %s", e.Name, e.Existing, e.Requested)
+}
+
+func (r *Registry) lookup(name, help string, kind metricKind) (*entry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if e, ok := r.entries[name]; ok {
 		if e.kind != kind {
-			panic(fmt.Sprintf("telemetry: %q registered as %s, requested as %s", name, e.kind, kind))
+			return nil, &KindMismatchError{Name: name, Existing: e.kind.String(), Requested: kind.String()}
 		}
-		return e
+		return e, nil
 	}
 	e := &entry{name: name, help: help, kind: kind}
 	r.entries[name] = e
-	return e
+	return e, nil
 }
 
-// Counter registers (or fetches) a counter.
-func (r *Registry) Counter(name, help string) *Counter {
-	e := r.lookup(name, help, kindCounter)
+// TryCounter registers (or fetches) a counter, reporting a
+// *KindMismatchError instead of panicking when the name is already taken
+// by another kind.
+func (r *Registry) TryCounter(name, help string) (*Counter, error) {
+	e, err := r.lookup(name, help, kindCounter)
+	if err != nil {
+		return nil, err
+	}
 	if e.c == nil {
 		e.c = &Counter{}
 	}
-	return e.c
+	return e.c, nil
 }
 
-// Gauge registers (or fetches) a gauge.
-func (r *Registry) Gauge(name, help string) *Gauge {
-	e := r.lookup(name, help, kindGauge)
+// Counter registers (or fetches) a counter, panicking on a kind mismatch;
+// registration happens at setup, where a clash is a programming error.
+func (r *Registry) Counter(name, help string) *Counter {
+	c, err := r.TryCounter(name, help)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TryGauge registers (or fetches) a gauge; see TryCounter.
+func (r *Registry) TryGauge(name, help string) (*Gauge, error) {
+	e, err := r.lookup(name, help, kindGauge)
+	if err != nil {
+		return nil, err
+	}
 	if e.g == nil {
 		e.g = &Gauge{}
 	}
-	return e.g
+	return e.g, nil
 }
 
-// Histogram registers (or fetches) a histogram with the given bucket upper
-// bounds (strictly increasing; an overflow bucket is implicit). The bounds
-// of the first registration win.
-func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
-	e := r.lookup(name, help, kindHistogram)
+// Gauge registers (or fetches) a gauge, panicking on a kind mismatch.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g, err := r.TryGauge(name, help)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TryHistogram registers (or fetches) a histogram with the given bucket
+// upper bounds (strictly increasing; an overflow bucket is implicit). The
+// bounds of the first registration win. Kind mismatches are returned as a
+// *KindMismatchError; see TryCounter.
+func (r *Registry) TryHistogram(name, help string, bounds []float64) (*Histogram, error) {
+	e, err := r.lookup(name, help, kindHistogram)
+	if err != nil {
+		return nil, err
+	}
 	if e.h == nil {
 		e.h = newHistogram(bounds)
 	}
-	return e.h
+	return e.h, nil
+}
+
+// Histogram registers (or fetches) a histogram, panicking on a kind
+// mismatch; see TryHistogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h, err := r.TryHistogram(name, help, bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // Reset zeroes every registered instrument (snapshot-and-reset cycles

@@ -16,7 +16,12 @@ type Span struct {
 	start time.Time
 }
 
-// StartSpan begins timing into h (h may be nil).
+// StartSpan begins timing into h (h may be nil). Spans measure the host's
+// wall clock by design; they feed only the opt-in timing sections of
+// reports, never simulated-domain data.
+//
+//maya:wallclock span timing measures the host by design
+//maya:hotpath
 func StartSpan(h *Histogram) Span {
 	if h == nil {
 		return Span{}
@@ -25,6 +30,9 @@ func StartSpan(h *Histogram) Span {
 }
 
 // End records the elapsed seconds. Calling End on a zero Span is a no-op.
+//
+//maya:wallclock span timing measures the host by design
+//maya:hotpath
 func (s Span) End() {
 	if s.h != nil {
 		s.h.Observe(time.Since(s.start).Seconds())

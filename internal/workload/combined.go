@@ -38,7 +38,7 @@ func (c *Combined) Demand() Demand {
 		mem += float64(d.Threads) * d.MemFrac
 		wsum += float64(d.Threads)
 	}
-	if wsum == 0 {
+	if wsum == 0 { //nolint:maya/floateq all-idle guard; weights sum to exactly 0 only when all are 0
 		for i := range c.lastShare {
 			c.lastShare[i] = 0
 		}

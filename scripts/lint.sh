@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Run mayalint, the project's static-analysis pass, over the whole module.
+# Findings print in file:line:col form and are also written to
+# mayalint-findings.json (an empty array when clean) so CI can upload the
+# machine-readable report as an artifact on failure.
+#
+# Usage: scripts/lint.sh [packages...]   (default: ./...)
+#
+# Exits nonzero on any finding; suppress a deliberate exception with
+# //nolint:maya/<analyzer> and a reason (see internal/lint/doc.go).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./cmd/mayalint -json-file mayalint-findings.json "${@:-./...}"
