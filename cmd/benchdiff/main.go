@@ -1,0 +1,138 @@
+// Command benchdiff compares two benchmark result files produced by
+// scripts/bench.sh and fails when a selected benchmark regressed.
+//
+// Usage:
+//
+//	benchdiff [-match regexp] [-threshold frac] old.json new.json
+//
+// Benchmark names are normalized by stripping the -<GOMAXPROCS> suffix that
+// `go test` appends, so results from machines with different core counts
+// compare directly. Only benchmarks whose normalized name matches -match
+// (default: all) gate the exit status: if new ns/op exceeds old ns/op by
+// more than -threshold (default 0.25, i.e. 25%), the run fails. Benchmarks
+// present in only one file are reported but never fail the gate — the suite
+// is allowed to grow.
+//
+// CI runs this against the committed BENCH_<date>.json baseline to catch
+// performance regressions in the FFT-plan and batched-training hot paths.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// entry is one benchmark record from scripts/bench.sh JSON output. Field
+// names in the file are benchmark units; only ns/op gates.
+type entry struct {
+	Name string  `json:"name"`
+	NsOp float64 `json:"ns/op"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// load reads a bench.sh JSON file into normalized-name → ns/op.
+func load(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []entry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		name := gomaxprocsSuffix.ReplaceAllString(e.Name, "")
+		// Duplicate names (e.g. -count runs) keep the fastest: the best
+		// observed time is the least noisy estimate of the code's cost.
+		if prev, ok := out[name]; !ok || e.NsOp < prev {
+			out[name] = e.NsOp
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	match := flag.String("match", "", "regexp of benchmark names that gate the exit status (default: all)")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional ns/op increase before failing")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-match regexp] [-threshold frac] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sel *regexp.Regexp
+	if *match != "" {
+		var err error
+		if sel, err = regexp.Compile(*match); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad -match: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(old)+len(cur))
+	seen := map[string]bool{}
+	for n := range old {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range cur {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, n := range names {
+		o, inOld := old[n]
+		c, inCur := cur[n]
+		// With -match, a partial new run is expected; only report coverage
+		// gaps for benchmarks the gate actually cares about.
+		if sel != nil && !sel.MatchString(n) && (!inOld || !inCur) {
+			continue
+		}
+		switch {
+		case !inOld:
+			fmt.Printf("%-48s %14s %12.0f  (new benchmark)\n", n, "-", c)
+		case !inCur:
+			fmt.Printf("%-48s %14.0f %12s  (missing from new run)\n", n, o, "-")
+		default:
+			delta := (c - o) / o
+			status := ""
+			if sel == nil || sel.MatchString(n) {
+				if delta > *threshold {
+					status = "  REGRESSION"
+					failed++
+				}
+			} else {
+				status = "  (not gated)"
+			}
+			fmt.Printf("%-48s %14.0f %12.0f  %+6.1f%%%s\n", n, o, c, 100*delta, status)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%%\n", failed, 100**threshold)
+		os.Exit(1)
+	}
+}

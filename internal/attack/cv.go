@@ -60,22 +60,33 @@ func CrossValidate(ds *trace.Dataset, spec Spec, folds, workers int) (*CVResult,
 		cfg = nn.DefaultTrainConfig()
 	}
 
+	// Pre-partition every fold's train/test slices before any job runs, in
+	// example-index order (the order the per-fold loop used to build them),
+	// so the fan-out closures do no shared-state work — they only train.
+	trainSets := make([][]nn.Example, folds)
+	testSets := make([][]nn.Example, folds)
+	for f := 0; f < folds; f++ {
+		trainSets[f] = make([]nn.Example, 0, len(examples)-len(examples)/folds)
+		testSets[f] = make([]nn.Example, 0, len(examples)/folds+1)
+	}
+	for i, ex := range examples {
+		f := foldOf[i]
+		testSets[f] = append(testSets[f], ex)
+		for other := 0; other < folds; other++ {
+			if other != f {
+				trainSets[other] = append(trainSets[other], ex)
+			}
+		}
+	}
+
 	accs, err := runner.MapN(context.Background(), runner.Options{Workers: workers}, folds,
 		func(_ context.Context, fold int, _ *rng.Stream) (float64, error) {
-			var train, test []nn.Example
-			for i, ex := range examples {
-				if foldOf[i] == fold {
-					test = append(test, ex)
-				} else {
-					train = append(train, ex)
-				}
-			}
 			// Per-fold stream: a pure function of (Seed, fold), domain-
 			// separated from the restart streams used by Run.
 			rr := rng.NewNamed(spec.Seed+uint64(fold)*104_729, "attack/cv/fold")
 			m := nn.NewMLP(rr, sizes...)
-			m.Train(rr, train, test, cfg)
-			return m.Accuracy(test), nil
+			m.Train(rr, trainSets[fold], testSets[fold], cfg)
+			return m.Accuracy(testSets[fold]), nil
 		})
 	if err != nil {
 		return nil, err

@@ -94,3 +94,21 @@ func TestCrossValidateRejectsBadFoldCounts(t *testing.T) {
 		t.Fatal("more folds than examples should error")
 	}
 }
+
+// benchCV measures k-fold cross-validation at a given worker count; the
+// Serial/Parallel pair shows what the runner fan-out buys. Results are
+// byte-identical at any worker count, so the pair differs only in time.
+func benchCV(b *testing.B, workers int) {
+	b.Helper()
+	ds := cvDataset(8, 40)
+	spec := cvSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CrossValidate(ds, spec, 4, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrossValidateSerial(b *testing.B)   { benchCV(b, 1) }
+func BenchmarkCrossValidateParallel(b *testing.B) { benchCV(b, 0) }

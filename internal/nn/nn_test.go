@@ -208,7 +208,7 @@ func TestGradientCheck(t *testing.T) {
 	deltas[1] = make([]float64, 4)
 	deltas[2] = make([]float64, 2)
 	m.forward(ex.X, acts)
-	m.backward(ex, acts, deltas, gw, gb)
+	scalarBackward(m, ex, acts, deltas, gw, gb)
 
 	const h = 1e-6
 	for l := range m.weights {

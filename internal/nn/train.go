@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"github.com/maya-defense/maya/internal/rng"
 )
@@ -45,6 +46,13 @@ type adamState struct {
 
 // Train fits the network on train, monitoring accuracy on val for early
 // stopping. It returns the best validation accuracy observed.
+//
+// Optimization runs on the batched kernels: each minibatch is gathered
+// into row-major matrices and pushed through forwardBatch/backwardBatch,
+// which stream every weight row once per minibatch instead of once per
+// example. Gradient elements accumulate example contributions in the same
+// order as the historical per-example loop, so for a fixed rng.Stream the
+// final weights are bit-for-bit identical to the scalar path it replaced.
 func (m *MLP) Train(r *rng.Stream, train, val []Example, cfg TrainConfig) float64 {
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 40
@@ -68,11 +76,13 @@ func (m *MLP) Train(r *rng.Stream, train, val []Example, cfg TrainConfig) float6
 		aw[l] = &adamState{m: make([]float64, len(m.weights[l].w)), v: make([]float64, len(m.weights[l].w))}
 		ab[l] = &adamState{m: make([]float64, len(m.biases[l])), v: make([]float64, len(m.biases[l]))}
 	}
-	acts := m.newActs()
-	deltas := make([][]float64, len(m.sizes))
-	for i, s := range m.sizes {
-		deltas[i] = make([]float64, s)
+	batchSize := cfg.BatchSize
+	if batchSize > len(train) && len(train) > 0 {
+		batchSize = len(train)
 	}
+	bb := m.newBatch(batchSize)
+	outW := m.sizes[len(m.sizes)-1]
+	logp := bb.acts[len(bb.acts)-1]
 
 	order := make([]int, len(train))
 	for i := range order {
@@ -93,20 +103,28 @@ func (m *MLP) Train(r *rng.Stream, train, val []Example, cfg TrainConfig) float6
 				zero(gw[l].w)
 				zero(gb[l])
 			}
-			for _, idx := range order[start:end] {
-				ex := train[idx]
-				m.forward(ex.X, acts)
-				logp := acts[len(acts)-1]
-				totalLoss += -logp[ex.Y]
-				m.backward(ex, acts, deltas, gw, gb)
+			rows := bb.load(m, train, order[start:end])
+			m.forwardBatch(bb, rows)
+			for bi := 0; bi < rows; bi++ {
+				totalLoss += -logp[bi*outW+bb.labels[bi]]
 			}
+			m.backwardBatch(bb, rows, gw, gb)
 			scale := 1 / float64(end-start)
 			for l := range gw {
 				adamStep(m.weights[l].w, gw[l].w, aw[l], cfg.LR, scale, cfg.WeightDecay)
 				adamStep(m.biases[l], gb[l], ab[l], cfg.LR, scale, 0)
 			}
 		}
-		valAcc := m.Accuracy(val)
+		valAcc := 0.0
+		if len(val) > 0 {
+			correct := 0
+			m.predictWithBatch(bb, val, func(i, pred int) {
+				if pred == val[i].Y {
+					correct++
+				}
+			})
+			valAcc = float64(correct) / float64(len(val))
+		}
 		if cfg.Log != nil {
 			cfg.Log(epoch, totalLoss/float64(len(train)), valAcc)
 		}
@@ -126,60 +144,6 @@ func (m *MLP) Train(r *rng.Stream, train, val []Example, cfg TrainConfig) float6
 	return bestVal
 }
 
-// backward accumulates gradients for one example into gw/gb. acts must hold
-// the forward activations for the example.
-func (m *MLP) backward(ex Example, acts, deltas [][]float64, gw []*dense, gb [][]float64) {
-	L := len(m.weights)
-	// Output delta: softmax − onehot (derivative of NLL∘LogSoftmax).
-	out := acts[L]
-	dOut := deltas[L]
-	for j := range dOut {
-		p := math.Exp(out[j])
-		if j == ex.Y {
-			p -= 1
-		}
-		dOut[j] = p
-	}
-	for l := L - 1; l >= 0; l-- {
-		w := m.weights[l]
-		in := acts[l]
-		d := deltas[l+1]
-		// Gradients.
-		g := gw[l]
-		for i := 0; i < w.rows; i++ {
-			xi := in[i]
-			if xi == 0 { //nolint:maya/floateq sparsity skip: one-hot inputs are exactly zero
-				continue
-			}
-			row := g.w[i*w.cols : (i+1)*w.cols]
-			for j := range row {
-				row[j] += xi * d[j]
-			}
-		}
-		bg := gb[l]
-		for j := range bg {
-			bg[j] += d[j]
-		}
-		if l == 0 {
-			break
-		}
-		// Propagate: delta_l = (W delta_{l+1}) ⊙ ReLU'(act_l).
-		dPrev := deltas[l]
-		for i := 0; i < w.rows; i++ {
-			if in[i] <= 0 { // ReLU derivative is 0 here
-				dPrev[i] = 0
-				continue
-			}
-			row := w.w[i*w.cols : (i+1)*w.cols]
-			s := 0.0
-			for j, wv := range row {
-				s += wv * d[j]
-			}
-			dPrev[i] = s
-		}
-	}
-}
-
 func zero(x []float64) {
 	for i := range x {
 		x[i] = 0
@@ -187,40 +151,47 @@ func zero(x []float64) {
 }
 
 // adamStep applies one Adam update to params given summed gradients and the
-// batch scale factor.
+// batch scale factor. The bias-correction divisions are hoisted out of the
+// element loop as reciprocals (lr/c1 and 1/√c2 are per-step constants), so
+// each element costs one divide and one square root instead of three divides
+// and a square root — the divider unit dominates this loop. The hoisted form
+// rounds differently from the textbook lr·(m̂)/(√v̂+ε) in the last bits but
+// is the same function of the same state, applied identically everywhere, so
+// training remains fully deterministic for a fixed rng.Stream.
+//
+//maya:hotpath
 func adamStep(params, grads []float64, st *adamState, lr, scale, decay float64) {
 	const beta1, beta2, eps = 0.9, 0.999, 1e-8
 	st.t++
 	c1 := 1 - math.Pow(beta1, float64(st.t))
 	c2 := 1 - math.Pow(beta2, float64(st.t))
-	for i := range params {
-		g := grads[i]*scale + decay*params[i]
-		st.m[i] = beta1*st.m[i] + (1-beta1)*g
-		st.v[i] = beta2*st.v[i] + (1-beta2)*g*g
-		params[i] -= lr * (st.m[i] / c1) / (math.Sqrt(st.v[i]/c2) + eps)
+	im := lr / c1
+	isq := 1 / math.Sqrt(c2)
+	mm := st.m[:len(params)]
+	vv := st.v[:len(params)]
+	gs := grads[:len(params)]
+	for i, p := range params {
+		g := gs[i]*scale + decay*p
+		mi := beta1*mm[i] + (1-beta1)*g
+		vi := beta2*vv[i] + (1-beta2)*g*g
+		mm[i] = mi
+		vv[i] = vi
+		params[i] = p - im*mi/(math.Sqrt(vi)*isq+eps)
 	}
 }
 
-// Accuracy returns the fraction of examples classified correctly.
+// Accuracy returns the fraction of examples classified correctly. The
+// forward passes run through the batched kernels.
 func (m *MLP) Accuracy(examples []Example) float64 {
 	if len(examples) == 0 {
 		return 0
 	}
 	correct := 0
-	acts := m.newActs()
-	for _, ex := range examples {
-		m.forward(ex.X, acts)
-		logp := acts[len(acts)-1]
-		best := 0
-		for i, v := range logp {
-			if v > logp[best] {
-				best = i
-			}
-		}
-		if best == ex.Y {
+	m.predictBatches(examples, func(i, pred int) {
+		if pred == examples[i].Y {
 			correct++
 		}
-	}
+	})
 	return float64(correct) / float64(len(examples))
 }
 
@@ -256,18 +227,9 @@ func Confusion(m *MLP, examples []Example, classes []string) *ConfusionMatrix {
 		cm.Counts[i] = make([]int, k)
 		cm.Matrix[i] = make([]float64, k)
 	}
-	acts := m.newActs()
-	for _, ex := range examples {
-		m.forward(ex.X, acts)
-		logp := acts[len(acts)-1]
-		best := 0
-		for i, v := range logp {
-			if v > logp[best] {
-				best = i
-			}
-		}
-		cm.Counts[ex.Y][best]++
-	}
+	m.predictBatches(examples, func(i, pred int) {
+		cm.Counts[examples[i].Y][pred]++
+	})
 	for i := 0; i < k; i++ {
 		total := 0
 		for _, c := range cm.Counts[i] {
@@ -297,20 +259,24 @@ func (cm *ConfusionMatrix) AverageAccuracy() float64 {
 	return s / float64(len(cm.Matrix))
 }
 
-// String renders the matrix in the style of Fig 6.
+// String renders the matrix in the style of Fig 6. The rendering is built
+// in a strings.Builder (the historical += concatenation reallocated the
+// whole string O(k²) times) but stays byte-identical.
 func (cm *ConfusionMatrix) String() string {
-	out := "true\\pred"
+	var b strings.Builder
+	b.Grow(16 + len(cm.Classes)*6 + len(cm.Matrix)*(10+len(cm.Classes)*6) + 32)
+	b.WriteString("true\\pred")
 	for j := range cm.Classes {
-		out += fmt.Sprintf("%6d", j)
+		fmt.Fprintf(&b, "%6d", j)
 	}
-	out += "\n"
+	b.WriteByte('\n')
 	for i, row := range cm.Matrix {
-		out += fmt.Sprintf("%8d ", i)
+		fmt.Fprintf(&b, "%8d ", i)
 		for _, v := range row {
-			out += fmt.Sprintf("%6.2f", v)
+			fmt.Fprintf(&b, "%6.2f", v)
 		}
-		out += "\n"
+		b.WriteByte('\n')
 	}
-	out += fmt.Sprintf("average accuracy: %.1f%%\n", 100*cm.AverageAccuracy())
-	return out
+	fmt.Fprintf(&b, "average accuracy: %.1f%%\n", 100*cm.AverageAccuracy())
+	return b.String()
 }

@@ -1,0 +1,78 @@
+package signal
+
+import (
+	"testing"
+
+	"github.com/maya-defense/maya/internal/rng"
+)
+
+// Benchmarks: planned vs unplanned transforms. The unplanned reference
+// rebuilds the permutation, twiddle, and (for Bluestein sizes) chirp/kernel
+// tables on every call — the pre-plan code recomputed exactly that state per
+// transform — so PlanFFT vs UnplannedFFT measures what the plan cache buys
+// on repeated same-size transforms, the STFT/Spectrum access pattern.
+
+// unplannedTransform mimics the historical per-call FFT: all precomputable
+// state is rebuilt from scratch, then the same kernels run.
+func unplannedTransform(dst, src []complex128) {
+	t := newPlanTables(len(src))
+	p := newPlanFromTables(t)
+	p.Transform(dst, src)
+}
+
+func benchSignal(n int) []complex128 {
+	return randComplex(rng.New(321), n)
+}
+
+func BenchmarkPlanFFTPow2(b *testing.B) {
+	x := benchSignal(1024)
+	dst := make([]complex128, len(x))
+	p := NewPlan(len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(dst, x)
+	}
+}
+
+func BenchmarkUnplannedFFTPow2(b *testing.B) {
+	x := benchSignal(1024)
+	dst := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		unplannedTransform(dst, x)
+	}
+}
+
+func BenchmarkPlanFFTBluestein(b *testing.B) {
+	x := benchSignal(1000)
+	dst := make([]complex128, len(x))
+	p := NewPlan(len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(dst, x)
+	}
+}
+
+func BenchmarkUnplannedFFTBluestein(b *testing.B) {
+	x := benchSignal(1000)
+	dst := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		unplannedTransform(dst, x)
+	}
+}
+
+// BenchmarkSpectrumRepeated measures the package-level entry point on
+// repeated same-size windows — the planned fast path plus the per-call
+// pool round-trip.
+func BenchmarkSpectrumRepeated(b *testing.B) {
+	r := rng.New(654)
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Spectrum(x, 1000)
+	}
+}

@@ -14,125 +14,43 @@ import (
 // FFT computes the discrete Fourier transform of x. Power-of-two lengths
 // use an in-place iterative radix-2 Cooley-Tukey; other lengths use
 // Bluestein's chirp-z algorithm so that any trace length is accepted.
+// The transform executes on a cached Plan for len(x), so repeated
+// same-size calls reuse precomputed tables and scratch buffers.
 func FFT(x []complex128) []complex128 {
 	n := len(x)
 	out := make([]complex128, n)
-	copy(out, x)
 	if n == 0 {
 		return out
 	}
-	if n&(n-1) == 0 {
-		fftRadix2(out, false)
-		return out
-	}
-	return bluestein(out, false)
+	p, e := acquirePlan(n)
+	p.Transform(out, x)
+	releasePlan(e, p)
+	return out
 }
 
 // IFFT computes the inverse DFT (normalized by 1/n).
 func IFFT(x []complex128) []complex128 {
 	n := len(x)
 	out := make([]complex128, n)
-	copy(out, x)
 	if n == 0 {
 		return out
 	}
-	if n&(n-1) == 0 {
-		fftRadix2(out, true)
-	} else {
-		out = bluestein(out, true)
-	}
-	inv := complex(1/float64(n), 0)
-	for i := range out {
-		out[i] *= inv
-	}
+	p, e := acquirePlan(n)
+	p.Inverse(out, x)
+	releasePlan(e, p)
 	return out
 }
 
 // FFTReal transforms a real signal and returns the full complex spectrum.
 func FFTReal(x []float64) []complex128 {
-	c := make([]complex128, len(x))
-	for i, v := range x {
-		c[i] = complex(v, 0)
-	}
-	return FFT(c)
-}
-
-// fftRadix2 performs an in-place iterative radix-2 FFT. inverse selects the
-// conjugate transform (without normalization).
-func fftRadix2(a []complex128, inverse bool) {
-	n := len(a)
-	// Bit-reversal permutation.
-	for i, j := 1, 0; i < n; i++ {
-		bit := n >> 1
-		for ; j&bit != 0; bit >>= 1 {
-			j ^= bit
-		}
-		j ^= bit
-		if i < j {
-			a[i], a[j] = a[j], a[i]
-		}
-	}
-	for length := 2; length <= n; length <<= 1 {
-		ang := 2 * math.Pi / float64(length)
-		if !inverse {
-			ang = -ang
-		}
-		wl := cmplx.Exp(complex(0, ang))
-		for i := 0; i < n; i += length {
-			w := complex(1, 0)
-			half := length / 2
-			for j := 0; j < half; j++ {
-				u := a[i+j]
-				v := a[i+j+half] * w
-				a[i+j] = u + v
-				a[i+j+half] = u - v
-				w *= wl
-			}
-		}
-	}
-}
-
-// bluestein computes an arbitrary-length DFT via the chirp-z transform,
-// expressing it as a convolution evaluated with power-of-two FFTs.
-func bluestein(x []complex128, inverse bool) []complex128 {
 	n := len(x)
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// chirp[k] = exp(sign * i*pi*k^2/n)
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// k*k can overflow for astronomically long traces; mod 2n keeps the
-		// angle exact because exp is 2π-periodic in k²·π/n.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		ang := sign * math.Pi * float64(kk) / float64(n)
-		chirp[k] = cmplx.Exp(complex(0, ang))
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	fftRadix2(a, false)
-	fftRadix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	fftRadix2(a, true)
-	invM := complex(1/float64(m), 0)
 	out := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * invM * chirp[k]
+	if n == 0 {
+		return out
 	}
+	p, e := acquirePlan(n)
+	p.TransformReal(out, x)
+	releasePlan(e, p)
 	return out
 }
 
@@ -168,8 +86,13 @@ func Spectrum(x []float64, sampleHz float64) (freqs, mags []float64) {
 		freqs[k] = float64(k) * sampleHz / float64(n)
 		mags[k] = cmplx.Abs(spec[k]) / float64(n) * 2
 	}
-	if len(mags) > 0 {
-		mags[0] /= 2 // DC bin is not doubled
+	// One-sided doubling accounts for the mirrored negative-frequency bins.
+	// DC has no mirror, and for even n neither does the Nyquist bin — the
+	// spectrum of a real signal puts all Nyquist energy in the single bin
+	// n/2, so doubling it would overstate that frequency by 2x.
+	mags[0] /= 2
+	if n%2 == 0 && n > 1 {
+		mags[half-1] /= 2
 	}
 	return freqs, mags
 }

@@ -165,6 +165,105 @@ func TestSpectralSpreadAndPeaks(t *testing.T) {
 	}
 }
 
+// naiveOneSidedMags computes the one-sided amplitude spectrum of x (mean
+// removed) from the O(n²) DFT with correct one-sided weighting: interior
+// bins are doubled for their mirrored negative frequency, DC is not, and
+// for even n neither is the Nyquist bin (it has no mirror).
+func naiveOneSidedMags(x []float64) []float64 {
+	n := len(x)
+	mean := Mean(x)
+	c := make([]complex128, n)
+	for i, v := range x {
+		c[i] = complex(v-mean, 0)
+	}
+	spec := naiveDFT(c)
+	half := n/2 + 1
+	mags := make([]float64, half)
+	for k := 0; k < half; k++ {
+		mags[k] = cmplx.Abs(spec[k]) / float64(n) * 2
+	}
+	mags[0] /= 2
+	if n%2 == 0 && n > 1 {
+		mags[half-1] /= 2
+	}
+	return mags
+}
+
+func TestSpectrumNyquistNotDoubled(t *testing.T) {
+	// A pure Nyquist tone A·(−1)^i at even n puts all its energy in the
+	// single bin n/2; its one-sided amplitude there is A, not 2A. The
+	// pre-fix Spectrum doubled this bin like an interior bin.
+	const amp = 3.0
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		if i%2 == 0 {
+			x[i] = amp
+		} else {
+			x[i] = -amp
+		}
+	}
+	_, mags := Spectrum(x, 100)
+	nyq := mags[len(mags)-1]
+	if math.Abs(nyq-amp) > 1e-9 {
+		t.Fatalf("Nyquist bin amplitude %g, want %g (doubled would be %g)", nyq, amp, 2*amp)
+	}
+}
+
+func TestSpectrumMatchesNaiveDFT(t *testing.T) {
+	r := rng.New(21)
+	for _, n := range []int{16, 17, 64, 63, 100, 101} { // even and odd lengths
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Normal(5, 2)
+		}
+		_, mags := Spectrum(x, 50)
+		want := naiveOneSidedMags(x)
+		if len(mags) != len(want) {
+			t.Fatalf("n=%d: %d bins, want %d", n, len(mags), len(want))
+		}
+		for k := range mags {
+			if math.Abs(mags[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: %g want %g", n, k, mags[k], want[k])
+			}
+		}
+	}
+}
+
+func TestSpectrumOneSidedParseval(t *testing.T) {
+	// Parseval for the one-sided amplitude spectrum: the signal's AC power
+	// equals mags[0]² + Σ interior mags²/2, with the even-n Nyquist bin
+	// contributing its full square (it is a single unpaired bin). The
+	// pre-fix doubling inflated the even-n Nyquist term 4x.
+	r := rng.New(22)
+	for _, n := range []int{32, 33, 128, 129} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Normal(10, 3)
+		}
+		mean := Mean(x)
+		power := 0.0
+		for _, v := range x {
+			power += (v - mean) * (v - mean)
+		}
+		power /= float64(n)
+
+		_, mags := Spectrum(x, 50)
+		spec := mags[0] * mags[0]
+		last := len(mags) - 1
+		for k := 1; k < len(mags); k++ {
+			w := 0.5
+			if k == last && n%2 == 0 {
+				w = 1 // unpaired Nyquist bin
+			}
+			spec += w * mags[k] * mags[k]
+		}
+		if math.Abs(power-spec) > 1e-9*power {
+			t.Fatalf("n=%d: one-sided Parseval violated: time power %g, spectral power %g", n, power, spec)
+		}
+	}
+}
+
 func TestFFTEmptyAndSingle(t *testing.T) {
 	if got := FFT(nil); len(got) != 0 {
 		t.Fatal("FFT(nil) should be empty")

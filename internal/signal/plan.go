@@ -1,0 +1,321 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// Plan is a precomputed FFT execution plan for one transform size. Creating
+// a plan computes the bit-reversal permutation and per-stage twiddle-factor
+// tables once (and, for non-power-of-two sizes, the Bluestein chirp and the
+// spectrum of its convolution kernel); every subsequent Transform reuses
+// them and the plan's scratch buffers, so a transform performs zero heap
+// allocations.
+//
+// The immutable tables are shared between all plans of the same size
+// through a package-level cache, so NewPlan is cheap after the first call
+// for a given size. The scratch buffers are private to each Plan: a Plan is
+// NOT safe for concurrent use — create one per goroutine (they share
+// tables), or use the package-level FFT/IFFT/Spectrum functions, which
+// draw plans from a per-size pool.
+type Plan struct {
+	t *planTables
+	// a is the Bluestein convolution scratch (nil for power-of-two sizes).
+	a []complex128
+}
+
+// planTables holds the immutable precomputed state for one size. It is
+// built once per size and shared by every Plan of that size.
+type planTables struct {
+	n    int
+	pow2 bool
+
+	// Radix-2 state for size n (pow2 sizes) or nil.
+	perm []int32      // bit-reversal permutation
+	tw   []complex128 // forward twiddles, stage-packed: stage half h at [h-1, 2h-1)
+	twI  []complex128 // inverse twiddles (conjugates)
+
+	// Bluestein state (non-pow2 sizes).
+	m     int          // convolution length (power of two ≥ 2n-1)
+	chirp []complex128 // forward chirp exp(-iπk²/n); inverse chirp is its conjugate
+	bqF   []complex128 // forward-transform kernel spectrum
+	bqI   []complex128 // inverse-transform kernel spectrum
+	inner *planTables  // radix-2 tables for size m
+}
+
+// planCacheEntry pairs a size's immutable tables with a pool of ready
+// plans for the package-level transform functions.
+type planCacheEntry struct {
+	tables *planTables
+	pool   sync.Pool // of *Plan
+}
+
+var (
+	planMu    sync.Mutex
+	planCache = map[int]*planCacheEntry{}
+)
+
+// cacheEntry returns (building if needed) the cache entry for size n.
+func cacheEntry(n int) *planCacheEntry {
+	planMu.Lock()
+	e, ok := planCache[n]
+	if !ok {
+		e = &planCacheEntry{tables: newPlanTables(n)}
+		e.pool.New = func() any { return newPlanFromTables(e.tables) }
+		planCache[n] = e
+	}
+	planMu.Unlock()
+	return e
+}
+
+// NewPlan builds a plan for transforms of the given size. Tables are reused
+// from the package cache when the size has been planned before.
+func NewPlan(n int) *Plan {
+	if n <= 0 {
+		panic("signal: NewPlan with non-positive size")
+	}
+	return newPlanFromTables(cacheEntry(n).tables)
+}
+
+func newPlanFromTables(t *planTables) *Plan {
+	p := &Plan{t: t}
+	if !t.pow2 {
+		p.a = make([]complex128, t.m)
+	}
+	return p
+}
+
+// acquirePlan draws a plan of size n from the per-size pool; releasePlan
+// returns it. The package-level FFT/IFFT/Spectrum/STFT entry points use
+// these so repeated same-size transforms reuse scratch without contending
+// on anything but a pool get/put.
+func acquirePlan(n int) (*Plan, *planCacheEntry) {
+	e := cacheEntry(n)
+	return e.pool.Get().(*Plan), e
+}
+
+func releasePlan(e *planCacheEntry, p *Plan) { e.pool.Put(p) }
+
+// newPlanTables precomputes the immutable state for size n.
+func newPlanTables(n int) *planTables {
+	t := &planTables{n: n, pow2: n&(n-1) == 0}
+	if t.pow2 {
+		t.perm = bitrevPerm(n)
+		t.tw, t.twI = twiddles(n)
+		return t
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	t.m = m
+	t.inner = &planTables{n: m, pow2: true, perm: bitrevPerm(m)}
+	t.inner.tw, t.inner.twI = twiddles(m)
+	// chirp[k] = exp(-iπk²/n); k² is reduced mod 2n to keep the angle exact
+	// for large k (exp is 2π-periodic in k²·π/n).
+	t.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := -math.Pi * float64(kk) / float64(n)
+		t.chirp[k] = cmplx.Exp(complex(0, ang))
+	}
+	// Kernel spectra: bF is built from conj(chirp) (forward transform),
+	// bI from chirp (inverse transform); both wrap negative indices.
+	bF := make([]complex128, m)
+	bI := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		bF[k] = cmplx.Conj(t.chirp[k])
+		bI[k] = t.chirp[k]
+	}
+	for k := 1; k < n; k++ {
+		bF[m-k] = cmplx.Conj(t.chirp[k])
+		bI[m-k] = t.chirp[k]
+	}
+	fftPow2(bF, t.inner, false)
+	fftPow2(bI, t.inner, false)
+	t.bqF = bF
+	t.bqI = bI
+	return t
+}
+
+// bitrevPerm returns the bit-reversal permutation for a power-of-two n.
+func bitrevPerm(n int) []int32 {
+	perm := make([]int32, n)
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		perm[i] = int32(j)
+	}
+	return perm
+}
+
+// twiddles returns forward and inverse twiddle tables for a power-of-two n,
+// stage-packed: the stage with half-length h (h = 1, 2, 4, ..., n/2) stores
+// w^j = exp(∓2πij/(2h)) for j in [0, h) at offset h-1. Total size n-1.
+func twiddles(n int) (fwd, inv []complex128) {
+	if n < 2 {
+		return nil, nil
+	}
+	fwd = make([]complex128, n-1)
+	inv = make([]complex128, n-1)
+	for h := 1; h < n; h <<= 1 {
+		for j := 0; j < h; j++ {
+			ang := math.Pi * float64(j) / float64(h)
+			w := cmplx.Exp(complex(0, -ang))
+			fwd[h-1+j] = w
+			inv[h-1+j] = cmplx.Conj(w)
+		}
+	}
+	return fwd, inv
+}
+
+// Size returns the transform size the plan was built for.
+func (p *Plan) Size() int { return p.t.n }
+
+// Transform writes the forward DFT of src into dst. Both must have the
+// plan's size; dst may alias src. It performs no heap allocations.
+//
+//maya:hotpath
+func (p *Plan) Transform(dst, src []complex128) {
+	p.execute(dst, src, false)
+}
+
+// Inverse writes the inverse DFT of src (normalized by 1/n) into dst. Both
+// must have the plan's size; dst may alias src. It performs no heap
+// allocations.
+//
+//maya:hotpath
+func (p *Plan) Inverse(dst, src []complex128) {
+	p.execute(dst, src, true)
+	inv := complex(1/float64(p.t.n), 0)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// TransformReal writes the forward DFT of the real signal src into dst,
+// without materializing a complex copy of the input. dst must have the
+// plan's size. It performs no heap allocations.
+//
+//maya:hotpath
+func (p *Plan) TransformReal(dst []complex128, src []float64) {
+	t := p.t
+	checkPlanLen(len(dst) == t.n && len(src) == t.n)
+	if t.pow2 {
+		for i, v := range src {
+			dst[i] = complex(v, 0)
+		}
+		fftPow2(dst, t, false)
+		return
+	}
+	a := p.a
+	for k := 0; k < t.n; k++ {
+		a[k] = complex(src[k], 0) * t.chirp[k]
+	}
+	p.convolve(dst, false)
+}
+
+// execute runs the planned transform of src into dst.
+//
+//maya:hotpath
+func (p *Plan) execute(dst, src []complex128, inverse bool) {
+	t := p.t
+	checkPlanLen(len(dst) == t.n && len(src) == t.n)
+	if t.pow2 {
+		if &dst[0] != &src[0] {
+			copy(dst, src)
+		}
+		fftPow2(dst, t, inverse)
+		return
+	}
+	// Bluestein: multiply by the chirp, convolve with the precomputed
+	// kernel via the inner power-of-two transform, then chirp again. The
+	// inverse transform conjugates the chirp.
+	a := p.a
+	if inverse {
+		for k := 0; k < t.n; k++ {
+			a[k] = src[k] * cmplx.Conj(t.chirp[k])
+		}
+	} else {
+		for k := 0; k < t.n; k++ {
+			a[k] = src[k] * t.chirp[k]
+		}
+	}
+	p.convolve(dst, inverse)
+}
+
+// convolve finishes a Bluestein transform: the chirped input is already in
+// p.a[:n]; it zero-pads, convolves with the kernel spectrum, and writes the
+// de-chirped result into dst.
+//
+//maya:hotpath
+func (p *Plan) convolve(dst []complex128, inverse bool) {
+	t := p.t
+	a := p.a
+	for k := t.n; k < t.m; k++ {
+		a[k] = 0
+	}
+	fftPow2(a, t.inner, false)
+	bq := t.bqF
+	if inverse {
+		bq = t.bqI
+	}
+	for i := range a {
+		a[i] *= bq[i]
+	}
+	fftPow2(a, t.inner, true)
+	invM := complex(1/float64(t.m), 0)
+	if inverse {
+		for k := 0; k < t.n; k++ {
+			dst[k] = a[k] * invM * cmplx.Conj(t.chirp[k])
+		}
+	} else {
+		for k := 0; k < t.n; k++ {
+			dst[k] = a[k] * invM * t.chirp[k]
+		}
+	}
+}
+
+// checkPlanLen panics when a transform buffer does not match the plan
+// size. It lives outside the hot kernels so the panic's string boxing
+// stays off the //maya:hotpath allocation budget.
+func checkPlanLen(ok bool) {
+	if !ok {
+		panic("signal: plan transform buffer length does not match plan size")
+	}
+}
+
+// fftPow2 performs an in-place radix-2 FFT of a power-of-two slice using
+// the precomputed permutation and twiddle tables in t (which must be the
+// tables for len(a)). inverse selects the conjugate transform (without
+// normalization).
+//
+//maya:hotpath
+func fftPow2(a []complex128, t *planTables, inverse bool) {
+	n := len(a)
+	perm := t.perm
+	for i := 1; i < n; i++ {
+		if j := int(perm[i]); i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	tw := t.tw
+	if inverse {
+		tw = t.twI
+	}
+	for half := 1; half < n; half <<= 1 {
+		stage := tw[half-1 : 2*half-1]
+		for i := 0; i < n; i += 2 * half {
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * stage[j]
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+			}
+		}
+	}
+}

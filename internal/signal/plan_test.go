@@ -1,0 +1,265 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/rng"
+)
+
+// refFFT is the pre-plan implementation (on-the-fly twiddles, per-call
+// allocation), kept as the differential reference for the planned path and
+// as the baseline for the plan-vs-naive benchmarks.
+func refFFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n == 0 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		refRadix2(out, inverse)
+		return out
+	}
+	return refBluestein(out, inverse)
+}
+
+func refRadix2(a []complex128, inverse bool) {
+	n := len(a)
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+func refBluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := sign * math.Pi * float64(kk) / float64(n)
+		chirp[k] = cmplx.Exp(complex(0, ang))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	refRadix2(a, false)
+	refRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	refRadix2(a, true)
+	invM := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invM * chirp[k]
+	}
+	return out
+}
+
+var planSizes = []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 33, 64, 100, 128, 250, 256, 500, 750, 1000, 1024}
+
+func randComplex(r *rng.Stream, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return x
+}
+
+func TestPlanTransformMatchesReference(t *testing.T) {
+	r := rng.New(11)
+	for _, n := range planSizes {
+		x := randComplex(r, n)
+		want := refFFT(x, false)
+		p := NewPlan(n)
+		got := make([]complex128, n)
+		p.Transform(got, x)
+		if !complexClose(got, want, 1e-9*float64(n)) {
+			t.Fatalf("Plan.Transform mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestPlanInverseMatchesReference(t *testing.T) {
+	r := rng.New(12)
+	for _, n := range planSizes {
+		x := randComplex(r, n)
+		want := refFFT(x, true)
+		inv := complex(1/float64(n), 0)
+		for i := range want {
+			want[i] *= inv
+		}
+		p := NewPlan(n)
+		got := make([]complex128, n)
+		p.Inverse(got, x)
+		if !complexClose(got, want, 1e-9*float64(n)) {
+			t.Fatalf("Plan.Inverse mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestPlanTransformRealMatchesComplex(t *testing.T) {
+	r := rng.New(13)
+	for _, n := range planSizes {
+		xr := make([]float64, n)
+		xc := make([]complex128, n)
+		for i := range xr {
+			xr[i] = r.NormFloat64()
+			xc[i] = complex(xr[i], 0)
+		}
+		p := NewPlan(n)
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		p.TransformReal(a, xr)
+		p.Transform(b, xc)
+		if !complexClose(a, b, 1e-12*float64(n)) {
+			t.Fatalf("TransformReal mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestPlanTransformInPlace(t *testing.T) {
+	r := rng.New(14)
+	for _, n := range []int{8, 100, 256} {
+		x := randComplex(r, n)
+		p := NewPlan(n)
+		want := make([]complex128, n)
+		p.Transform(want, x)
+		got := append([]complex128(nil), x...)
+		p.Transform(got, got) // dst aliases src
+		if !complexClose(got, want, 0) {
+			t.Fatalf("in-place Transform differs at n=%d", n)
+		}
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	r := rng.New(15)
+	for _, n := range planSizes {
+		x := randComplex(r, n)
+		p := NewPlan(n)
+		spec := make([]complex128, n)
+		back := make([]complex128, n)
+		p.Transform(spec, x)
+		p.Inverse(back, spec)
+		if !complexClose(back, x, 1e-9*float64(n)) {
+			t.Fatalf("round trip drift at n=%d", n)
+		}
+	}
+}
+
+func TestPlanTransformZeroAlloc(t *testing.T) {
+	for _, n := range []int{256, 250} { // one radix-2, one Bluestein size
+		p := NewPlan(n)
+		src := make([]complex128, n)
+		for i := range src {
+			src[i] = complex(float64(i%7), 0)
+		}
+		dst := make([]complex128, n)
+		if allocs := testing.AllocsPerRun(100, func() { p.Transform(dst, src) }); allocs != 0 {
+			t.Fatalf("Plan.Transform(n=%d) allocates %.0f times per call", n, allocs)
+		}
+		real_ := make([]float64, n)
+		if allocs := testing.AllocsPerRun(100, func() { p.TransformReal(dst, real_) }); allocs != 0 {
+			t.Fatalf("Plan.TransformReal(n=%d) allocates %.0f times per call", n, allocs)
+		}
+	}
+}
+
+func TestPlanCacheSharesTables(t *testing.T) {
+	a := NewPlan(48)
+	b := NewPlan(48)
+	if a.t != b.t {
+		t.Fatal("plans of the same size should share cached tables")
+	}
+	if a == b {
+		t.Fatal("NewPlan must return distinct plans (private scratch)")
+	}
+	if a.Size() != 48 {
+		t.Fatalf("Size()=%d", a.Size())
+	}
+}
+
+func TestPlanConcurrentFFT(t *testing.T) {
+	// The package-level FFT draws plans from a pool; hammer one size from
+	// many goroutines and check every result against a serial reference.
+	r := rng.New(16)
+	const n = 100
+	x := randComplex(r, n)
+	want := FFT(x)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := FFT(x); !complexClose(got, want, 0) {
+					errs <- errMismatch
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = errExact("concurrent FFT result differs from serial result")
+
+type errExact string
+
+func (e errExact) Error() string { return string(e) }
+
+func TestNewPlanRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPlan(0)
+}

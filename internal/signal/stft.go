@@ -36,14 +36,20 @@ func STFT(x []float64, sampleHz float64, window, hop int) *Spectrogram {
 		FrameHz: sampleHz / float64(hop),
 		BinHz:   sampleHz / float64(window),
 	}
+	// One plan serves every frame: the per-frame transform reuses the
+	// plan's tables and scratch with no per-frame allocation beyond the
+	// output row.
+	p, e := acquirePlan(window)
+	defer releasePlan(e, p)
 	buf := make([]float64, window)
+	spec := make([]complex128, window)
 	for start := 0; start+window <= len(x); start += hop {
 		frame := x[start : start+window]
 		m := Mean(frame)
 		for i := range buf {
 			buf[i] = (frame[i] - m) * hann[i]
 		}
-		spec := FFTReal(buf)
+		p.TransformReal(spec, buf)
 		half := window/2 + 1
 		mags := make([]float64, half)
 		for k := 0; k < half; k++ {

@@ -93,11 +93,19 @@ func Resample(x []float64, fromPeriod, toPeriod float64) []float64 {
 		return nil
 	}
 	total := float64(len(x)) * fromPeriod
-	n := int(total / toPeriod)
+	// Truncation guard: for exact-multiple ratios the division can land
+	// just below an integer (1.0/0.1 evaluates below 10), which would drop
+	// the final sample. The epsilon is relative so long traces stay covered.
+	ratio := total / toPeriod
+	n := int(ratio + 1e-9*(1+ratio))
 	out := make([]float64, n)
 	for i := 0; i < n; i++ {
 		t := float64(i) * toPeriod
-		idx := int(t / fromPeriod)
+		// Same truncation guard as above: an output time landing exactly on
+		// an input sample boundary must take that sample, not its
+		// predecessor (int(2.1/0.7) evaluates to 2 in float64).
+		q := t / fromPeriod
+		idx := int(q + 1e-9*(1+q))
 		if idx >= len(x) {
 			idx = len(x) - 1
 		}

@@ -119,6 +119,66 @@ func TestResampleDownUp(t *testing.T) {
 	}
 }
 
+func TestResampleExactMultipleKeepsFinalSample(t *testing.T) {
+	// 6 samples at a 0.7 ms period cover 4.2 ms; resampling at the same
+	// period must return all 6 points. Pre-fix, int((6*0.7)/0.7) evaluated
+	// to 5 in float64 and dropped the final sample.
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	got := Resample(x, 0.7, 0.7)
+	if len(got) != 6 {
+		t.Fatalf("identity resample len=%d want 6", len(got))
+	}
+	for i := range got {
+		if got[i] != x[i] {
+			t.Fatalf("sample %d changed: %v", i, got)
+		}
+	}
+	// Exact 2:1 downsample with the same awkward period: 48 samples at
+	// 0.7 ms resampled at 1.4 ms must give 24, not the pre-fix 23.
+	y := make([]float64, 48)
+	down := Resample(y, 0.7, 1.4)
+	if len(down) != 24 {
+		t.Fatalf("2:1 resample len=%d want 24", len(down))
+	}
+}
+
+func TestResampleNonMultipleTruncates(t *testing.T) {
+	// 10 samples at 20 ms cover 200 ms; at a 60 ms period only 3 full
+	// output samples fit — a non-multiple ratio still truncates, it is not
+	// rounded up.
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := Resample(x, 20, 60)
+	if len(got) != 3 {
+		t.Fatalf("non-multiple resample len=%d want 3", len(got))
+	}
+	if got[0] != 1 || got[1] != 4 || got[2] != 7 {
+		t.Fatalf("non-multiple resample=%v", got)
+	}
+}
+
+func TestResampleCountProperty(t *testing.T) {
+	// For any k·fromPeriod = toPeriod with integer k, the output length is
+	// exactly len(x)/k rounded the mathematical way, never one short.
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw)%5 + 1
+		r := rng.New(seed)
+		n := 20 + int(seed%37)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()
+		}
+		from := 0.1 * (1 + float64(seed%7))
+		got := Resample(x, from, from*float64(k))
+		return len(got) == n/k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestWindows(t *testing.T) {
 	x := []float64{1, 2, 3, 4, 5}
 	w := Windows(x, 2)

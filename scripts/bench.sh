@@ -3,7 +3,12 @@
 # BENCH_<date>.txt (raw `go test` output) and BENCH_<date>.json (one object
 # per benchmark: name, ns/op, B/op, allocs/op, and any custom metrics).
 #
-# Usage: scripts/bench.sh [-z] [bench-regexp]   (default: all benchmarks)
+# Usage: scripts/bench.sh [-z] [-o name] [-t benchtime] [bench-regexp]
+#        (default: all benchmarks, output BENCH_<yyyy-mm-dd>.{txt,json})
+#
+# -o overrides the output basename (writes <name>.txt and <name>.json);
+# -t overrides -benchtime (default 1x) — the CI bench-compare job uses a
+# higher count so the regression gate sees less single-shot noise.
 #
 # With -z the script becomes a zero-allocation gate: after recording, it
 # fails if any matched benchmark reports allocs/op > 0. CI uses this to
@@ -15,17 +20,25 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 zero_alloc=0
-if [[ "${1:-}" == "-z" ]]; then
-    zero_alloc=1
-    shift
-fi
+name=""
+benchtime="1x"
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+    -z) zero_alloc=1; shift ;;
+    -o) name="$2"; shift 2 ;;
+    -t) benchtime="$2"; shift 2 ;;
+    *) break ;;
+    esac
+done
 
 pattern="${1:-.}"
-date="$(date -u +%Y%m%d)"
-txt="BENCH_${date}.txt"
-json="BENCH_${date}.json"
+if [[ -z "$name" ]]; then
+    name="BENCH_$(date -u +%Y-%m-%d)"
+fi
+txt="${name}.txt"
+json="${name}.json"
 
-go test -run '^$' -bench "$pattern" -benchtime=1x -benchmem ./... | tee "$txt"
+go test -run '^$' -bench "$pattern" -benchtime="$benchtime" -benchmem ./... | tee "$txt"
 
 awk '
 BEGIN { print "[" }
