@@ -7,6 +7,8 @@
 //	experiments [-scale small|paper] [-run regexp] [-seed N] [-o report.md]
 //	            [-parallel N] [-timeout d] [-timing] [-telemetry]
 //	            [-debug-addr host:port]
+//	            [-cache-dir path] [-cache off|rw|ro] [-cache-stats]
+//	            [-cache-annotate]
 //
 // With no -run filter it executes the complete suite. Experiments run across
 // -parallel workers; the report body is byte-identical for every worker
@@ -16,6 +18,15 @@
 // registry (pool depth, job latency histograms) as a report section, and
 // -debug-addr serves net/http/pprof plus a Prometheus-style /metrics
 // endpoint while the suite runs.
+//
+// The experiment cache (-cache-dir, or the MAYA_EXPCACHE environment
+// variable) replays previously computed report sections when code version,
+// scale, seed, and experiment name all match, making repeated sweeps — and
+// the CI figure-regeneration gate — nearly free. The report body is
+// byte-identical whether a section was computed or replayed; -cache-annotate
+// opts into " [cached]" markers on replayed section headers, and
+// -cache-stats prints a hits/misses/corrupt/writes summary line to stdout
+// (the report itself then normally goes to -o).
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 	"regexp"
 	"time"
 
+	"github.com/maya-defense/maya/internal/expcache"
 	"github.com/maya-defense/maya/internal/experiments"
 	"github.com/maya-defense/maya/internal/runner"
 	"github.com/maya-defense/maya/internal/telemetry"
@@ -46,6 +58,10 @@ func main() {
 	timing := flag.Bool("timing", false, "append a per-experiment timing section to the report")
 	telFlag := flag.Bool("telemetry", false, "append the telemetry registry as a report section")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address during the run")
+	cacheDir := flag.String("cache-dir", expcache.DefaultDir(), "experiment cache directory (default $MAYA_EXPCACHE; empty disables)")
+	cacheMode := flag.String("cache", "rw", "experiment cache mode: off, rw, or ro")
+	cacheStats := flag.Bool("cache-stats", false, "print cache hit/miss/corrupt/write counts to stdout after the run")
+	cacheAnnotate := flag.Bool("cache-annotate", false, "mark cache-replayed report sections with [cached] (breaks byte-identity with uncached reports)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -82,10 +98,22 @@ func main() {
 		serveDebug(*debugAddr, reg)
 	}
 
+	mode, err := expcache.ParseMode(*cacheMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache, err := expcache.Open(*cacheDir, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache.SetMetrics(expcache.NewMetrics(reg))
+	version := expcache.CodeVersion()
+
 	entries := experiments.FilterSuite(experiments.Suite(), filter)
 	start := time.Now() //maya:wallclock suite timing for the summary line only
-	outs := experiments.RunSuite(context.Background(), entries, sc, *seed,
-		runner.Options{Workers: *parallel, Timeout: *timeout, Metrics: runner.NewMetrics(reg)})
+	outs := experiments.RunSuiteCached(context.Background(), entries, sc, *seed,
+		runner.Options{Workers: *parallel, Timeout: *timeout, Metrics: runner.NewMetrics(reg)},
+		experiments.CacheConfig{Cache: cache, Version: version})
 	failed := 0
 	for _, o := range outs {
 		switch {
@@ -105,12 +133,16 @@ func main() {
 		fmt.Fprint(os.Stderr, experiments.TimingSummary(outs))
 	}
 
-	opts := experiments.ReportOptions{Timing: *timing}
+	opts := experiments.ReportOptions{Timing: *timing, AnnotateCached: *cacheAnnotate}
 	if *telFlag {
 		opts.Telemetry = reg
 	}
 	if err := experiments.WriteReportOpts(w, sc, *seed, outs, opts); err != nil {
 		log.Fatal(err)
+	}
+	if *cacheStats {
+		st := cache.Stats()
+		fmt.Printf("expcache: %s (dir=%s, mode=%s, version=%s)\n", st, cache.Dir(), cache.Mode(), version)
 	}
 	if failed > 0 {
 		os.Exit(1)

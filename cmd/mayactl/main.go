@@ -8,6 +8,7 @@
 //	        [-workload blackscholes|video/tractor|web/google|instr/imul|...]
 //	        [-seconds 20] [-scale 0.2] [-seed 1] [-csv out.csv]
 //	        [-flight out.jsonl] [-metrics]
+//	mayactl -convert src dst
 //
 // The CSV output has one row per 20 ms control period:
 // time_s,power_w,target_w,freq_ghz,idle,balloon.
@@ -24,6 +25,11 @@
 // name or a plan JSON file, and enables the engine's measurement guard for
 // Maya designs. Start from `mayactl -dump-fault-plan kitchen-sink` to write
 // your own plan.
+//
+// -convert translates a trace dataset between the CSV, JSON, and binary
+// columnar (MAYT) encodings; the formats are inferred from the two file
+// extensions (.csv, .json, .bin/.mayt). CSV inputs need no side-channel
+// class table — it is rebuilt from the rows.
 package main
 
 import (
@@ -43,6 +49,7 @@ import (
 	"github.com/maya-defense/maya/internal/signal"
 	"github.com/maya-defense/maya/internal/sim"
 	"github.com/maya-defense/maya/internal/telemetry"
+	"github.com/maya-defense/maya/internal/trace"
 	"github.com/maya-defense/maya/internal/workload"
 )
 
@@ -119,7 +126,18 @@ func main() {
 	faultsFlag := flag.String("faults", "", "inject faults from a canned plan ("+strings.Join(fault.PlanNames(), ", ")+") or a plan JSON path")
 	dumpFaultPlan := flag.String("dump-fault-plan", "", "print a canned fault plan as JSON and exit")
 	list := flag.Bool("list", false, "list the built-in workloads and exit")
+	convert := flag.Bool("convert", false, "convert a trace dataset between formats: mayactl -convert src dst")
 	flag.Parse()
+
+	if *convert {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: mayactl -convert src dst (formats by extension: .csv, .json, .bin, .mayt)")
+		}
+		if err := convertDataset(flag.Arg(0), flag.Arg(1)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Printf("%-22s %-14s %8s  %s\n", "workload", "suite", "~runtime", "description")
@@ -312,6 +330,25 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// convertDataset re-encodes a dataset file; formats come from the
+// extensions.
+func convertDataset(src, dst string) error {
+	d, err := trace.ReadDatasetFile(src, nil)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteDatasetFile(dst, d); err != nil {
+		return err
+	}
+	samples := 0
+	for _, tr := range d.Traces {
+		samples += len(tr.Samples)
+	}
+	fmt.Printf("converted %s -> %s (%d classes, %d traces, %d samples)\n",
+		src, dst, d.NumClasses(), len(d.Traces), samples)
+	return nil
 }
 
 // finiteOnly drops NaN/±Inf samples (injected sensor faults) so the

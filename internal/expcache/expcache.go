@@ -1,0 +1,336 @@
+// Package expcache is a content-addressed on-disk cache for experiment
+// results. An entry is keyed by a SHA-256 over everything that determines
+// the result — code version, experiment name, scale parameters, and seed —
+// so a hit is only possible when rerunning would reproduce the stored bytes
+// exactly. The design follows keyed, integrity-checked build caches (garble's
+// cache_pkg): every entry carries a hash of its payload, entries are written
+// with an atomic rename so readers never see a partial file, and a corrupt
+// entry is evicted and recomputed rather than trusted.
+//
+// Layout: <dir>/<kk>/<key>.json where kk is the first key byte in hex, the
+// same fan-out git uses for loose objects. The file is a JSON wrapper
+// {"sha256": hex, "payload": {...}} whose digest covers the exact payload
+// bytes; Get re-hashes on every read.
+package expcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+)
+
+// SchemaVersion is baked into every key; bump it when the entry payload or
+// the key derivation itself changes so old cache directories turn into
+// misses instead of decode errors.
+const SchemaVersion = 1
+
+// EnvDir is the environment variable naming the default cache directory.
+const EnvDir = "MAYA_EXPCACHE"
+
+// EnvVersion overrides the build-info code version in keys (CI sets it to
+// the commit SHA so cold and warm runs of the same checkout agree even when
+// VCS stamping is unavailable).
+const EnvVersion = "MAYA_EXPCACHE_VERSION"
+
+// DefaultDir resolves the cache directory from the environment; empty means
+// no cache.
+func DefaultDir() string { return os.Getenv(EnvDir) }
+
+// Key is the content address of one experiment result.
+type Key [sha256.Size]byte
+
+// String returns the hex form used on disk and in logs.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyInput is everything that may determine a cached result. Fields are
+// hashed in declaration order with length framing, so two inputs collide
+// only if every field matches. There is deliberately no map, no timestamp,
+// and no host identity in here: a key must be a pure function of (code,
+// configuration, seed).
+type KeyInput struct {
+	// CodeVersion identifies the code that produced the result (VCS
+	// revision + dirty flag, or an explicit override; see CodeVersion).
+	CodeVersion string
+	// Experiment is the suite entry name ("fig6", "ablation-masks").
+	Experiment string
+	// Scale is the canonical rendering of every scale parameter (see
+	// experiments.SuiteEntry.CacheKey for the renderer).
+	Scale string
+	// Seed is the base random seed the experiment derives its streams from.
+	Seed uint64
+}
+
+// DeriveKey hashes the input into a content address. Every field is framed
+// by its length so ("ab","c") and ("a","bc") cannot collide.
+//
+//maya:cachekey
+func DeriveKey(in KeyInput) Key {
+	h := sha256.New()
+	var scratch [10]byte
+	field := func(s string) {
+		n := binary.PutUvarint(scratch[:], uint64(len(s)))
+		h.Write(scratch[:n])
+		h.Write([]byte(s))
+	}
+	field("maya-expcache-v" + strconv.Itoa(SchemaVersion))
+	field(in.CodeVersion)
+	field(in.Experiment)
+	field(in.Scale)
+	binary.LittleEndian.PutUint64(scratch[:8], in.Seed)
+	h.Write(scratch[:8])
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Entry is one cached experiment result: the rendered report section, which
+// is all WriteReport needs to reproduce the entry byte-for-byte.
+type Entry struct {
+	// Experiment echoes the suite entry name for auditing a cache
+	// directory by hand.
+	Experiment string `json:"experiment"`
+	// ID is the Result.ID() header ("Fig 6", "Table V").
+	ID string `json:"id"`
+	// Render is the Result.Render() body.
+	Render string `json:"render"`
+}
+
+// Mode selects how the cache participates in a run.
+type Mode int
+
+const (
+	// ModeOff disables the cache: every Get misses, every Put is dropped.
+	ModeOff Mode = iota
+	// ModeReadWrite consults the cache and stores fresh results.
+	ModeReadWrite
+	// ModeReadOnly consults the cache but never writes (CI verification
+	// runs, shared read-only cache directories).
+	ModeReadOnly
+)
+
+// ParseMode maps the -cache flag values off|rw|ro.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off":
+		return ModeOff, nil
+	case "rw":
+		return ModeReadWrite, nil
+	case "ro":
+		return ModeReadOnly, nil
+	}
+	return ModeOff, fmt.Errorf("expcache: unknown mode %q (off, rw, ro)", s)
+}
+
+// String returns the flag spelling.
+func (m Mode) String() string {
+	switch m {
+	case ModeReadWrite:
+		return "rw"
+	case ModeReadOnly:
+		return "ro"
+	}
+	return "off"
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits    uint64
+	Misses  uint64
+	Corrupt uint64
+	Writes  uint64
+}
+
+// String renders the one-line summary cmd/experiments -cache-stats prints.
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d corrupt=%d writes=%d", s.Hits, s.Misses, s.Corrupt, s.Writes)
+}
+
+// Cache is an open cache directory. The zero value and the nil pointer are
+// valid disabled caches, so call sites need no guards.
+type Cache struct {
+	dir  string
+	mode Mode
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	corrupt atomic.Uint64
+	writes  atomic.Uint64
+
+	m *Metrics
+}
+
+// Open prepares dir as a cache. ModeOff (or an empty dir) returns a
+// disabled cache rather than an error, so callers can pass flag values
+// straight through.
+func Open(dir string, mode Mode) (*Cache, error) {
+	if dir == "" || mode == ModeOff {
+		return &Cache{mode: ModeOff}, nil
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("expcache: %w", err)
+	}
+	return &Cache{dir: dir, mode: mode}, nil
+}
+
+// Enabled reports whether Get can ever hit.
+func (c *Cache) Enabled() bool { return c != nil && c.mode != ModeOff }
+
+// Mode returns the open mode (ModeOff for a nil cache).
+func (c *Cache) Mode() Mode {
+	if c == nil {
+		return ModeOff
+	}
+	return c.mode
+}
+
+// Dir returns the cache directory ("" when disabled).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// SetMetrics mirrors the cache counters into a telemetry registry's
+// instruments (see NewMetrics).
+func (c *Cache) SetMetrics(m *Metrics) {
+	if c != nil {
+		c.m = m
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Corrupt: c.corrupt.Load(),
+		Writes:  c.writes.Load(),
+	}
+}
+
+// path returns the entry file for a key, fanned out by the first byte.
+func (c *Cache) path(k Key) string {
+	hexKey := k.String()
+	return filepath.Join(c.dir, hexKey[:2], hexKey+".json")
+}
+
+// wrapper is the on-disk envelope: the payload bytes plus their digest.
+// Payload stays a RawMessage so the digest covers the exact stored bytes,
+// not a re-marshalled approximation.
+type wrapper struct {
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Get looks up a key. A decode failure or digest mismatch counts as
+// corruption: the entry is evicted so the caller's recompute can repopulate
+// it, and the lookup reports a miss.
+func (c *Cache) Get(k Key) (Entry, bool) {
+	if !c.Enabled() {
+		return Entry{}, false
+	}
+	raw, err := os.ReadFile(c.path(k))
+	if err != nil {
+		c.miss()
+		return Entry{}, false
+	}
+	var w wrapper
+	if err := json.Unmarshal(raw, &w); err != nil {
+		c.evict(k)
+		return Entry{}, false
+	}
+	sum := sha256.Sum256(w.Payload)
+	if hex.EncodeToString(sum[:]) != w.SHA256 {
+		c.evict(k)
+		return Entry{}, false
+	}
+	var e Entry
+	if err := json.Unmarshal(w.Payload, &e); err != nil {
+		c.evict(k)
+		return Entry{}, false
+	}
+	c.hit()
+	return e, true
+}
+
+// Put stores an entry under its key. Writes go to a temp file in the final
+// directory and are renamed into place, so concurrent readers and writers
+// only ever see complete entries; the last writer wins, which is harmless
+// because all writers for a key store identical bytes. Read-only mode drops
+// the write silently.
+func (c *Cache) Put(k Key, e Entry) error {
+	if !c.Enabled() || c.mode == ModeReadOnly {
+		return nil
+	}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("expcache: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	blob, err := json.Marshal(wrapper{SHA256: hex.EncodeToString(sum[:]), Payload: payload})
+	if err != nil {
+		return fmt.Errorf("expcache: %w", err)
+	}
+	dst := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o777); err != nil {
+		return fmt.Errorf("expcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "tmp-*")
+	if err != nil {
+		return fmt.Errorf("expcache: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("expcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("expcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("expcache: %w", err)
+	}
+	c.writes.Add(1)
+	if c.m != nil {
+		c.m.Writes.Inc()
+	}
+	return nil
+}
+
+// evict removes a corrupt entry and counts it (also as a miss, so
+// hits+misses always equals the number of lookups).
+func (c *Cache) evict(k Key) {
+	os.Remove(c.path(k))
+	c.corrupt.Add(1)
+	c.misses.Add(1)
+	if c.m != nil {
+		c.m.Corrupt.Inc()
+		c.m.Misses.Inc()
+	}
+}
+
+func (c *Cache) hit() {
+	c.hits.Add(1)
+	if c.m != nil {
+		c.m.Hits.Inc()
+	}
+}
+
+func (c *Cache) miss() {
+	c.misses.Add(1)
+	if c.m != nil {
+		c.m.Misses.Inc()
+	}
+}

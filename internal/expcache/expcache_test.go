@@ -1,0 +1,246 @@
+package expcache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/telemetry"
+)
+
+func testInput() KeyInput {
+	return KeyInput{CodeVersion: "v1", Experiment: "fig6", Scale: "small/40/24000", Seed: 1}
+}
+
+func TestDeriveKeyStable(t *testing.T) {
+	a := DeriveKey(testInput())
+	b := DeriveKey(testInput())
+	if a != b {
+		t.Fatalf("same input produced different keys %s vs %s", a, b)
+	}
+	if len(a.String()) != 64 {
+		t.Fatalf("key hex length %d, want 64", len(a.String()))
+	}
+}
+
+func TestDeriveKeySensitivity(t *testing.T) {
+	base := DeriveKey(testInput())
+	mutations := map[string]KeyInput{
+		"code version": {CodeVersion: "v2", Experiment: "fig6", Scale: "small/40/24000", Seed: 1},
+		"experiment":   {CodeVersion: "v1", Experiment: "fig7", Scale: "small/40/24000", Seed: 1},
+		"scale":        {CodeVersion: "v1", Experiment: "fig6", Scale: "small/41/24000", Seed: 1},
+		"seed":         {CodeVersion: "v1", Experiment: "fig6", Scale: "small/40/24000", Seed: 2},
+	}
+	seen := map[Key]string{base: "base"}
+	for name, in := range mutations {
+		k := DeriveKey(in)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("changing %s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestDeriveKeyFraming checks the length framing: shifting a boundary
+// between adjacent fields must change the key.
+func TestDeriveKeyFraming(t *testing.T) {
+	a := DeriveKey(KeyInput{CodeVersion: "ab", Experiment: "c"})
+	b := DeriveKey(KeyInput{CodeVersion: "a", Experiment: "bc"})
+	if a == b {
+		t.Fatal("field boundary shift did not change the key")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir(), ModeReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := DeriveKey(testInput())
+	want := Entry{Experiment: "fig6", ID: "Fig 6", Render: "line1\nline2\n"}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	if err := c.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got != want {
+		t.Fatalf("round trip changed the entry: %+v vs %+v", got, want)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Corrupt != 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+func TestDisabledModes(t *testing.T) {
+	var nilCache *Cache
+	if nilCache.Enabled() {
+		t.Fatal("nil cache claims to be enabled")
+	}
+	if _, ok := nilCache.Get(Key{}); ok {
+		t.Fatal("nil cache hit")
+	}
+	if err := nilCache.Put(Key{}, Entry{}); err != nil {
+		t.Fatalf("nil cache Put: %v", err)
+	}
+
+	off, err := Open(t.TempDir(), ModeOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := DeriveKey(testInput())
+	if err := off.Put(k, Entry{ID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := off.Get(k); ok {
+		t.Fatal("off-mode cache hit")
+	}
+	if st := off.Stats(); st != (Stats{}) {
+		t.Fatalf("off-mode cache counted something: %+v", st)
+	}
+}
+
+func TestReadOnlyNeverWrites(t *testing.T) {
+	dir := t.TempDir()
+	rw, err := Open(dir, ModeReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := DeriveKey(testInput())
+	if err := rw.Put(k, Entry{ID: "Fig 6", Render: "body\n"}); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := Open(dir, ModeReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ro.Get(k); !ok {
+		t.Fatal("read-only cache missed an existing entry")
+	}
+	k2 := DeriveKey(KeyInput{Experiment: "other"})
+	if err := ro.Put(k2, Entry{ID: "X"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ro.Get(k2); ok {
+		t.Fatal("read-only Put stored an entry")
+	}
+	if st := ro.Stats(); st.Writes != 0 {
+		t.Fatalf("read-only cache recorded writes: %+v", st)
+	}
+}
+
+// TestPoisonedEntryEvictedAndRecomputed is the cache-poisoning regression:
+// a corrupted entry must fail the integrity check, be evicted, count as
+// corrupt, and leave the slot writable so a recompute repopulates it.
+func TestPoisonedEntryEvictedAndRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, ModeReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	c.SetMetrics(m)
+	k := DeriveKey(testInput())
+	want := Entry{Experiment: "fig6", ID: "Fig 6", Render: "honest result\n"}
+	if err := c.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, k.String()[:2], k.String()+".json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := strings.Replace(string(blob), "honest", "forged", 1)
+	if poisoned == string(blob) {
+		t.Fatal("test setup: payload not found in entry file")
+	}
+	if err := os.WriteFile(path, []byte(poisoned), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := c.Get(k); ok {
+		t.Fatal("poisoned entry passed the integrity check")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("poisoned entry not evicted: %v", err)
+	}
+	if st := c.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1 (%+v)", st.Corrupt, st)
+	}
+	if m.Corrupt.Value() != 1 {
+		t.Fatalf("telemetry corrupt counter = %d, want 1", m.Corrupt.Value())
+	}
+
+	// Recompute path: Put again, Get must hit with the honest bytes.
+	if err := c.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok || got != want {
+		t.Fatalf("recompute after eviction failed: ok=%v got=%+v", ok, got)
+	}
+}
+
+// TestTruncatedEntryIsCorrupt covers the atomic-rename invariant from the
+// reader's side: a half-written file (simulated by truncation) must never
+// decode into a hit.
+func TestTruncatedEntryIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, ModeReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := DeriveKey(testInput())
+	if err := c.Put(k, Entry{ID: "Fig 6", Render: "body\n"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k.String()[:2], k.String()+".json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)/2], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("truncated entry produced a hit")
+	}
+	if st := c.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for s, want := range map[string]Mode{"off": ModeOff, "rw": ModeReadWrite, "ro": ModeReadOnly} {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("Mode(%q).String() = %q", s, got.String())
+		}
+	}
+	if _, err := ParseMode("banana"); err == nil {
+		t.Error("ParseMode accepted garbage")
+	}
+}
+
+func TestCodeVersionOverride(t *testing.T) {
+	t.Setenv(EnvVersion, "pinned-sha")
+	if v := CodeVersion(); v != "pinned-sha" {
+		t.Fatalf("CodeVersion with override = %q", v)
+	}
+	t.Setenv(EnvVersion, "")
+	if v := CodeVersion(); v == "" {
+		t.Fatal("CodeVersion returned empty string")
+	}
+}

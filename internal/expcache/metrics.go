@@ -1,0 +1,25 @@
+package expcache
+
+import "github.com/maya-defense/maya/internal/telemetry"
+
+// Metrics exposes the cache counters through a telemetry registry so the
+// -telemetry report section and the /metrics endpoint show cache behaviour
+// alongside the runner-pool instruments. Registration is idempotent (the
+// registry guarantees it), so independent caches in one process share one
+// set of counters.
+type Metrics struct {
+	Hits    *telemetry.Counter
+	Misses  *telemetry.Counter
+	Corrupt *telemetry.Counter
+	Writes  *telemetry.Counter
+}
+
+// NewMetrics registers the expcache instruments.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Hits:    reg.Counter("expcache_hits_total", "experiment results served from the cache"),
+		Misses:  reg.Counter("expcache_misses_total", "experiment cache lookups that found nothing usable"),
+		Corrupt: reg.Counter("expcache_corrupt_total", "cache entries evicted after failing the integrity check"),
+		Writes:  reg.Counter("expcache_writes_total", "experiment results stored into the cache"),
+	}
+}

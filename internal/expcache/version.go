@@ -1,0 +1,48 @@
+package expcache
+
+import (
+	"os"
+	"runtime/debug"
+)
+
+// CodeVersion identifies the code producing results, for use as
+// KeyInput.CodeVersion. Resolution order:
+//
+//  1. the MAYA_EXPCACHE_VERSION environment variable (CI pins it to the
+//     commit SHA so every binary built from one checkout agrees);
+//  2. the VCS stamp embedded by `go build` — revision plus a +dirty marker,
+//     because a dirty tree can produce results the revision alone would
+//     wrongly validate;
+//  3. "unversioned" — hits are then only as trustworthy as the user's
+//     promise that the code did not change, which is why cmd/experiments
+//     prints the resolved version next to the cache stats.
+//
+// The VCS stamp is a property of the binary, not of the wall clock or the
+// host, so the derived keys stay reproducible.
+//
+//maya:cachekey
+func CodeVersion() string {
+	if v := os.Getenv(EnvVersion); v != "" {
+		return v
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unversioned"
+	}
+	revision, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if revision == "" {
+		return "unversioned"
+	}
+	if dirty {
+		return revision + "+dirty"
+	}
+	return revision
+}

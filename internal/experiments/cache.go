@@ -1,0 +1,119 @@
+package experiments
+
+// Content-addressed caching for suite runs. An experiment's report section
+// is a pure function of (code version, experiment name, scale, seed) — the
+// determinism the runner tests already enforce — so the rendered Result can
+// be cached by a hash of exactly those inputs and replayed byte-for-byte.
+// The report body never changes between a cold and a warm run; only the
+// opt-in accounting sections (and the explicit AnnotateCached mode) reveal
+// where a section came from.
+
+import (
+	"context"
+	"strconv"
+
+	"github.com/maya-defense/maya/internal/expcache"
+	"github.com/maya-defense/maya/internal/runner"
+)
+
+// canonScale renders every Scale field in declaration order. Adding a field
+// to Scale without extending this renderer would let two different
+// configurations share a key, so the renderer fails closed: it consumes the
+// struct by value and the cache key test pins the rendering.
+//
+//maya:cachekey
+func canonScale(sc Scale) string {
+	return sc.Name +
+		"/runs=" + strconv.Itoa(sc.RunsPerClass) +
+		"/ticks=" + strconv.Itoa(sc.TraceTicks) +
+		"/warmup=" + strconv.Itoa(sc.WarmupTicks) +
+		"/wscale=" + strconv.FormatFloat(sc.WorkloadScale, 'g', -1, 64) +
+		"/epochs=" + strconv.Itoa(sc.Epochs) +
+		"/avg=" + strconv.Itoa(sc.AvgRuns)
+}
+
+// CacheKey derives the entry's content address for a run configuration.
+// version comes from expcache.CodeVersion (or a CI override); everything
+// else that can change the result — experiment name, every scale
+// parameter, the base seed — is folded in by DeriveKey.
+//
+//maya:cachekey
+func (e SuiteEntry) CacheKey(version string, sc Scale, seed uint64) expcache.Key {
+	return expcache.DeriveKey(expcache.KeyInput{
+		CodeVersion: version,
+		Experiment:  e.Name,
+		Scale:       canonScale(sc),
+		Seed:        seed,
+	})
+}
+
+// cachedResult replays a cache entry through the Result interface, so
+// WriteReport renders hits and fresh runs identically.
+type cachedResult struct {
+	id     string
+	render string
+}
+
+func (c cachedResult) ID() string     { return c.id }
+func (c cachedResult) Render() string { return c.render }
+
+// CacheConfig couples an open cache with the code version used in keys.
+type CacheConfig struct {
+	Cache *expcache.Cache
+	// Version is folded into every key; leave empty to use
+	// expcache.CodeVersion().
+	Version string
+}
+
+// RunSuiteCached is RunSuite with a consult-then-populate cache in front of
+// it. Hits skip execution entirely and carry the stored rendering; misses
+// run through the normal worker pool (preserving RunSuite's any-worker-count
+// determinism) and, in read-write mode, populate the cache on success.
+// Outcomes come back in suite order regardless of the hit/miss split. A nil
+// or disabled cache degrades to plain RunSuite.
+func RunSuiteCached(ctx context.Context, entries []SuiteEntry, sc Scale, seed uint64, opts runner.Options, cc CacheConfig) []SuiteOutcome {
+	if !cc.Cache.Enabled() {
+		return RunSuite(ctx, entries, sc, seed, opts)
+	}
+	version := cc.Version
+	if version == "" {
+		version = expcache.CodeVersion()
+	}
+
+	keys := make([]expcache.Key, len(entries))
+	outs := make([]SuiteOutcome, len(entries))
+	var missed []SuiteEntry
+	var missedIdx []int
+	for i, e := range entries {
+		keys[i] = e.CacheKey(version, sc, seed)
+		if ent, ok := cc.Cache.Get(keys[i]); ok {
+			outs[i] = SuiteOutcome{
+				Name:   e.Name,
+				Res:    cachedResult{id: ent.ID, render: ent.Render},
+				Cached: true,
+			}
+			continue
+		}
+		missed = append(missed, e)
+		missedIdx = append(missedIdx, i)
+	}
+	if len(missed) == 0 {
+		return outs
+	}
+	for j, out := range RunSuite(ctx, missed, sc, seed, opts) {
+		i := missedIdx[j]
+		outs[i] = out
+		if out.Err != nil || out.TimedOut || out.Res == nil {
+			continue
+		}
+		// Put errors (read-only directory, disk full) degrade the cache to
+		// a miss next run; they must not fail the experiment that already
+		// succeeded.
+		_ = cc.Cache.Put(keys[i], expcache.Entry{
+			Experiment: out.Name,
+			ID:         out.Res.ID(),
+			Render:     out.Res.Render(),
+		})
+	}
+	return outs
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/expcache"
+	"github.com/maya-defense/maya/internal/runner"
+)
+
+// fakeResult is a cheap deterministic Result for cache-behaviour tests —
+// the real experiments cost seconds each and add nothing here.
+type fakeResult struct{ id, body string }
+
+func (r fakeResult) ID() string     { return r.id }
+func (r fakeResult) Render() string { return r.body }
+
+// fakeSuite returns n entries that count their executions.
+func fakeSuite(n int, executions *atomic.Int64) []SuiteEntry {
+	entries := make([]SuiteEntry, n)
+	for i := range entries {
+		name := fmt.Sprintf("exp%d", i)
+		entries[i] = SuiteEntry{Name: name, Run: func(sc Scale, seed uint64) (Result, error) {
+			executions.Add(1)
+			return fakeResult{
+				id:   "Fake " + name,
+				body: fmt.Sprintf("%s at %s seed %d\n", name, sc.Name, seed),
+			}, nil
+		}}
+	}
+	return entries
+}
+
+func openCache(t *testing.T, dir string, mode expcache.Mode) *expcache.Cache {
+	t.Helper()
+	c, err := expcache.Open(dir, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func report(t *testing.T, outs []SuiteOutcome, opts ReportOptions) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteReportOpts(&buf, Small(), 1, outs, opts); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRunSuiteCachedColdThenWarm(t *testing.T) {
+	dir := t.TempDir()
+	var executions atomic.Int64
+	entries := fakeSuite(5, &executions)
+	cc := CacheConfig{Cache: openCache(t, dir, expcache.ModeReadWrite), Version: "test-v1"}
+
+	cold := RunSuiteCached(context.Background(), entries, Small(), 1, runner.Options{}, cc)
+	if got := executions.Load(); got != 5 {
+		t.Fatalf("cold run executed %d of 5", got)
+	}
+	for _, o := range cold {
+		if o.Cached {
+			t.Fatalf("%s reported cached on a cold run", o.Name)
+		}
+	}
+	st := cc.Cache.Stats()
+	if st.Misses != 5 || st.Writes != 5 || st.Hits != 0 {
+		t.Fatalf("cold stats %+v", st)
+	}
+
+	warm := RunSuiteCached(context.Background(), entries, Small(), 1, runner.Options{}, CacheConfig{
+		Cache: openCache(t, dir, expcache.ModeReadWrite), Version: "test-v1"})
+	if got := executions.Load(); got != 5 {
+		t.Fatalf("warm run re-executed: %d total executions", got)
+	}
+	for _, o := range warm {
+		if !o.Cached {
+			t.Fatalf("%s missed on a warm run", o.Name)
+		}
+	}
+
+	coldReport := report(t, cold, ReportOptions{})
+	warmReport := report(t, warm, ReportOptions{})
+	if coldReport != warmReport {
+		t.Fatalf("cold and warm reports differ:\n--- cold ---\n%s--- warm ---\n%s", coldReport, warmReport)
+	}
+
+	annotated := report(t, warm, ReportOptions{AnnotateCached: true})
+	if strings.Count(annotated, " [cached]") != 5 {
+		t.Fatalf("AnnotateCached marked %d of 5 entries:\n%s", strings.Count(annotated, " [cached]"), annotated)
+	}
+	if strings.Contains(coldReport, "[cached]") {
+		t.Fatal("unannotated report leaks cache state")
+	}
+}
+
+// TestRunSuiteCachedKeySensitivity: a different seed, scale, or code
+// version must miss rather than replay the wrong result.
+func TestRunSuiteCachedKeySensitivity(t *testing.T) {
+	dir := t.TempDir()
+	var executions atomic.Int64
+	entries := fakeSuite(2, &executions)
+	run := func(sc Scale, seed uint64, version string) {
+		RunSuiteCached(context.Background(), entries, sc, seed, runner.Options{},
+			CacheConfig{Cache: openCache(t, dir, expcache.ModeReadWrite), Version: version})
+	}
+	run(Small(), 1, "v1")
+	if executions.Load() != 2 {
+		t.Fatalf("cold run executed %d", executions.Load())
+	}
+	run(Small(), 2, "v1") // new seed
+	if executions.Load() != 4 {
+		t.Fatalf("seed change did not re-execute (%d)", executions.Load())
+	}
+	run(Paper(), 1, "v1") // new scale
+	if executions.Load() != 6 {
+		t.Fatalf("scale change did not re-execute (%d)", executions.Load())
+	}
+	run(Small(), 1, "v2") // new code version
+	if executions.Load() != 8 {
+		t.Fatalf("version change did not re-execute (%d)", executions.Load())
+	}
+	run(Small(), 1, "v1") // back to the original tuple: all hits
+	if executions.Load() != 8 {
+		t.Fatalf("repeat run re-executed (%d)", executions.Load())
+	}
+}
+
+// TestRunSuiteCachedPoisoning corrupts one entry on disk between runs: the
+// warm run must detect it, evict, recompute that one experiment, and
+// repopulate — the report stays byte-identical throughout.
+func TestRunSuiteCachedPoisoning(t *testing.T) {
+	dir := t.TempDir()
+	var executions atomic.Int64
+	entries := fakeSuite(3, &executions)
+	version := "test-v1"
+
+	cold := RunSuiteCached(context.Background(), entries, Small(), 1, runner.Options{},
+		CacheConfig{Cache: openCache(t, dir, expcache.ModeReadWrite), Version: version})
+
+	// Corrupt exp1's entry in place.
+	key := entries[1].CacheKey(version, Small(), 1)
+	path := filepath.Join(dir, key.String()[:2], key.String()+".json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := bytes.Replace(blob, []byte("exp1"), []byte("evil"), 1)
+	if bytes.Equal(poisoned, blob) {
+		t.Fatal("test setup: payload marker not found")
+	}
+	if err := os.WriteFile(path, poisoned, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := openCache(t, dir, expcache.ModeReadWrite)
+	warm := RunSuiteCached(context.Background(), entries, Small(), 1, runner.Options{},
+		CacheConfig{Cache: cache, Version: version})
+	if got := executions.Load(); got != 4 {
+		t.Fatalf("expected exactly the poisoned entry to re-execute (3 cold + 1): %d", got)
+	}
+	st := cache.Stats()
+	if st.Corrupt != 1 || st.Hits != 2 || st.Writes != 1 {
+		t.Fatalf("poisoned-run stats %+v", st)
+	}
+	if warm[1].Cached || !warm[0].Cached || !warm[2].Cached {
+		t.Fatalf("unexpected cached flags: %v %v %v", warm[0].Cached, warm[1].Cached, warm[2].Cached)
+	}
+	if report(t, cold, ReportOptions{}) != report(t, warm, ReportOptions{}) {
+		t.Fatal("report changed across poisoning recovery")
+	}
+
+	// Third run: fully warm again, recomputed entry is back in the cache.
+	executions.Store(0)
+	RunSuiteCached(context.Background(), entries, Small(), 1, runner.Options{},
+		CacheConfig{Cache: openCache(t, dir, expcache.ModeReadWrite), Version: version})
+	if executions.Load() != 0 {
+		t.Fatalf("cache not repopulated after eviction (%d executions)", executions.Load())
+	}
+}
+
+func TestRunSuiteCachedReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	var executions atomic.Int64
+	entries := fakeSuite(2, &executions)
+	ro := openCache(t, dir, expcache.ModeReadOnly)
+	RunSuiteCached(context.Background(), entries, Small(), 1, runner.Options{},
+		CacheConfig{Cache: ro, Version: "v1"})
+	if executions.Load() != 2 {
+		t.Fatalf("read-only cold run executed %d", executions.Load())
+	}
+	if st := ro.Stats(); st.Writes != 0 {
+		t.Fatalf("read-only mode wrote entries: %+v", st)
+	}
+	// Nothing was stored, so a second read-only run recomputes.
+	RunSuiteCached(context.Background(), entries, Small(), 1, runner.Options{},
+		CacheConfig{Cache: openCache(t, dir, expcache.ModeReadOnly), Version: "v1"})
+	if executions.Load() != 4 {
+		t.Fatalf("read-only warm run found phantom entries (%d executions)", executions.Load())
+	}
+}
+
+// TestRunSuiteCachedErrorsNotCached: failed experiments must not populate
+// the cache.
+func TestRunSuiteCachedErrorsNotCached(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	entries := []SuiteEntry{{Name: "flaky", Run: func(sc Scale, seed uint64) (Result, error) {
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return fakeResult{id: "Fake flaky", body: "ok\n"}, nil
+	}}}
+	cc := func() CacheConfig {
+		return CacheConfig{Cache: openCache(t, dir, expcache.ModeReadWrite), Version: "v1"}
+	}
+	outs := RunSuiteCached(context.Background(), entries, Small(), 1, runner.Options{}, cc())
+	if outs[0].Err == nil {
+		t.Fatal("expected the first run to fail")
+	}
+	outs = RunSuiteCached(context.Background(), entries, Small(), 1, runner.Options{}, cc())
+	if outs[0].Err != nil || outs[0].Cached {
+		t.Fatalf("second run: err=%v cached=%v (the failure must not have been cached)", outs[0].Err, outs[0].Cached)
+	}
+	outs = RunSuiteCached(context.Background(), entries, Small(), 1, runner.Options{}, cc())
+	if !outs[0].Cached {
+		t.Fatal("success was not cached")
+	}
+}
+
+// TestRealEntryCacheKeyCoversScale pins canonScale against silently dropped
+// fields: every Scale field change must change the key.
+func TestRealEntryCacheKeyCoversScale(t *testing.T) {
+	e := Suite()[0]
+	base := Small()
+	keys := map[expcache.Key]string{e.CacheKey("v", base, 1): "base"}
+	mutate := []struct {
+		name string
+		f    func(*Scale)
+	}{
+		{"Name", func(s *Scale) { s.Name = "other" }},
+		{"RunsPerClass", func(s *Scale) { s.RunsPerClass++ }},
+		{"TraceTicks", func(s *Scale) { s.TraceTicks++ }},
+		{"WarmupTicks", func(s *Scale) { s.WarmupTicks++ }},
+		{"WorkloadScale", func(s *Scale) { s.WorkloadScale += 0.01 }},
+		{"Epochs", func(s *Scale) { s.Epochs++ }},
+		{"AvgRuns", func(s *Scale) { s.AvgRuns++ }},
+	}
+	for _, m := range mutate {
+		sc := base
+		m.f(&sc)
+		k := e.CacheKey("v", sc, 1)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("changing %s collides with %s", m.name, prev)
+		}
+		keys[k] = m.name
+	}
+}

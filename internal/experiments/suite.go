@@ -88,6 +88,9 @@ type SuiteOutcome struct {
 	AllocBytes uint64
 	// TimedOut marks entries that exceeded the per-job timeout.
 	TimedOut bool
+	// Cached marks results replayed from the experiment cache instead of
+	// executed (RunSuiteCached); Wall and AllocBytes are zero for them.
+	Cached bool
 }
 
 // RunSuite executes the entries across opts.Workers workers and returns
@@ -131,6 +134,11 @@ type ReportOptions struct {
 	// section (Prometheus text exposition; nondeterministic where the
 	// instruments record wall-clock quantities).
 	Telemetry *telemetry.Registry
+	// AnnotateCached appends " [cached]" to the section header of entries
+	// replayed from the experiment cache. Off by default so cached and
+	// fresh reports stay byte-identical — the property the CI
+	// figure-regeneration gate diffs for.
+	AnnotateCached bool
 }
 
 // WriteReport renders outcomes as the EXPERIMENTS.md-style report. The body
@@ -154,7 +162,11 @@ func WriteReportOpts(w io.Writer, sc Scale, seed uint64, outs []SuiteOutcome, op
 			}
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "## %s (%s)\n\n```\n%s```\n\n", o.Res.ID(), o.Name, o.Res.Render()); err != nil {
+		cached := ""
+		if opts.AnnotateCached && o.Cached {
+			cached = " [cached]"
+		}
+		if _, err := fmt.Fprintf(w, "## %s (%s)%s\n\n```\n%s```\n\n", o.Res.ID(), o.Name, cached, o.Res.Render()); err != nil {
 			return err
 		}
 	}
@@ -192,6 +204,8 @@ func TimingSummary(outs []SuiteOutcome) string {
 			status = "  (timed out)"
 		} else if o.Err != nil {
 			status = "  (failed)"
+		} else if o.Cached {
+			status = "  (cached)"
 		}
 		s += fmt.Sprintf("%-20s %10s %12s%s\n", o.Name, o.Wall.Round(time.Millisecond), fmtBytes(o.AllocBytes), status)
 		total += o.Wall

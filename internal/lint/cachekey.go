@@ -1,0 +1,44 @@
+package lint
+
+import "go/ast"
+
+// CacheKey audits functions marked //maya:cachekey — the experiment-cache
+// key-derivation sites. A cache key must be a pure function of (code
+// version, configuration, seed): if a wall-clock read or a map's randomized
+// iteration order reaches the hash, identical runs stop hitting (silent
+// cache churn) or — worse — different runs start colliding. Inside a
+// cachekey function the audit is stricter than the repo-wide rules: a
+// //maya:wallclock blessing does NOT exempt a time.Now/time.Since call, and
+// ranging over a map is banned outright rather than only when the body is
+// order-sensitive, because everything computed here is on its way into the
+// key.
+var CacheKey = &Analyzer{
+	Name: "cachekey",
+	Doc:  "wall-clock or map-iteration input inside //maya:cachekey key-derivation functions",
+	Run:  runCacheKey,
+}
+
+func runCacheKey(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !pkg.funcDirective(fd, DirCachekey) || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.CallExpr:
+					if pkgPath, name := pkg.callPkgFunc(v); pkgPath == "time" && (name == "Now" || name == "Since") {
+						pass.Reportf(v.Pos(), "wall-clock read time.%s inside a cache-key derivation; keys must be pure functions of code version, config, and seed (//maya:wallclock does not apply here)", name)
+					}
+				case *ast.RangeStmt:
+					if mapUnder(pkg.typeOf(v.X)) {
+						pass.Reportf(v.Pos(), "map range inside a cache-key derivation; iteration order is randomized per run — hash fields in declaration order or sort the keys outside")
+					}
+				}
+				return true
+			})
+		}
+	}
+}

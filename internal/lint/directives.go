@@ -20,10 +20,15 @@ import (
 //
 // nolint directives use the same trailing/standalone placement.
 
-// DirWallclock and DirHotpath are the recognized //maya: directive names.
+// DirWallclock, DirHotpath, and DirCachekey are the recognized //maya:
+// directive names.
 const (
 	DirWallclock = "wallclock"
 	DirHotpath   = "hotpath"
+	// DirCachekey marks experiment-cache key-derivation functions; the
+	// cachekey analyzer holds them to stricter determinism rules than the
+	// rest of the repo (see cachekey.go).
+	DirCachekey = "cachekey"
 )
 
 type nolintDirective struct {

@@ -17,6 +17,8 @@
 //   - floateq: ==/!= on floats in non-test code.
 //   - hotalloc: fmt, string building, or interface boxing inside
 //     //maya:hotpath functions.
+//   - cachekey: wall-clock reads (even //maya:wallclock-blessed ones) or
+//     map ranges inside //maya:cachekey experiment-cache key derivations.
 //
 // # Directive syntax
 //
@@ -24,12 +26,16 @@
 //
 //	//maya:wallclock <optional reason>
 //	//maya:hotpath   <optional reason>
+//	//maya:cachekey  <optional reason>
 //
 // A maya: directive in a function's doc comment covers the whole function
 // (closures included). On a line of its own it covers the next source
 // line; trailing a statement it covers that line. //maya:wallclock marks
 // overhead accounting that measures the host and never feeds decisions;
-// //maya:hotpath opts a function into hotalloc's allocation rules.
+// //maya:hotpath opts a function into hotalloc's allocation rules;
+// //maya:cachekey (doc-comment placement only) opts a key-derivation
+// function into the cachekey audit, under which wall-clock blessings stop
+// applying and map iteration is banned outright.
 //
 // Suppressions silence one finding, with an unused-suppression check so
 // stale annotations are themselves findings:

@@ -64,6 +64,7 @@ func Analyzers() []*Analyzer {
 		RNGShare,
 		FloatEq,
 		HotAlloc,
+		CacheKey,
 	}
 }
 

@@ -1,0 +1,40 @@
+// Package cachekey is a golden-test fixture for the cachekey analyzer:
+// stricter determinism rules inside //maya:cachekey functions.
+package cachekey
+
+import (
+	"strconv"
+	"time"
+)
+
+// deriveBad mixes nondeterministic inputs into a key. A //maya:wallclock
+// blessing does not exempt a wall-clock read here, and a map range is
+// banned even though its body is only a commutative-looking append into a
+// hash input.
+//
+//maya:cachekey
+func deriveBad(fields map[string]string) string {
+	key := strconv.FormatInt(time.Now().UnixNano(), 10) //maya:wallclock does not apply inside cachekey // want "wall-clock read time.Now inside a cache-key derivation"
+	for k, v := range fields {                          // want "map range inside a cache-key derivation"
+		key += k + "=" + v
+	}
+	return key
+}
+
+// deriveGood hashes declared fields in a fixed order.
+//
+//maya:cachekey
+func deriveGood(version, name string, seed uint64) string {
+	return version + "/" + name + "/" + strconv.FormatUint(seed, 10)
+}
+
+// unmarked functions keep the repo-wide rules: detwallclock honours the
+// blessing, and an order-insensitive map range is allowed.
+func unmarked(fields map[string]string) time.Time {
+	n := 0
+	for range fields {
+		n++
+	}
+	_ = n
+	return time.Now() //maya:wallclock blessed as usual outside cachekey functions
+}

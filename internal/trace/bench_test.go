@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/rng"
+)
+
+// benchDataset mirrors the Fig-6 application-detection dataset shape at the
+// small experiment scale: 11 classes × 40 runs × 1200 samples (24 s at the
+// attacker's 20 ms period), with readings on the RAPL sensor's quantization
+// grid. This is the shape the experiment cache and the sweep pipelines
+// shuttle around.
+func benchDataset() *Dataset {
+	const (
+		classes      = 11
+		runsPerClass = 40
+		samples      = 1200
+		quantum      = 1.0 / 1024 // exact in binary, RAPL-unit-like
+	)
+	st := rng.New(42)
+	d := &Dataset{ClassNames: make([]string, classes)}
+	for c := range d.ClassNames {
+		d.ClassNames[c] = "app" + string(rune('a'+c))
+	}
+	for c := 0; c < classes; c++ {
+		for r := 0; r < runsPerClass; r++ {
+			xs := make([]float64, samples)
+			level := 20000 + 400*c
+			for i := range xs {
+				level += st.Intn(41) - 20
+				xs[i] = quantum * float64(level)
+			}
+			d.Add(c, 20, xs)
+		}
+	}
+	return d
+}
+
+func benchEncode(b *testing.B, write func(*Dataset, io.Writer) error) {
+	d := benchDataset()
+	var buf bytes.Buffer
+	if err := write(d, &buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := write(d, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecode(b *testing.B, write func(*Dataset, io.Writer) error, read func([]byte) (*Dataset, error)) {
+	d := benchDataset()
+	var buf bytes.Buffer
+	if err := write(d, &buf); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := read(blob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got.Traces) != len(d.Traces) {
+			b.Fatal("decode dropped traces")
+		}
+	}
+}
+
+func writeCSVTo(d *Dataset, w io.Writer) error  { return d.WriteCSV(w) }
+func writeJSONTo(d *Dataset, w io.Writer) error { return d.WriteJSON(w) }
+func writeBinTo(d *Dataset, w io.Writer) error  { return d.WriteBinary(w) }
+
+func BenchmarkTraceEncodeCSV(b *testing.B)    { benchEncode(b, writeCSVTo) }
+func BenchmarkTraceEncodeJSON(b *testing.B)   { benchEncode(b, writeJSONTo) }
+func BenchmarkTraceEncodeBinary(b *testing.B) { benchEncode(b, writeBinTo) }
+
+func BenchmarkTraceDecodeCSV(b *testing.B) {
+	benchDecode(b, writeCSVTo, func(blob []byte) (*Dataset, error) {
+		return ReadCSV(bytes.NewReader(blob), benchClassNames)
+	})
+}
+
+func BenchmarkTraceDecodeJSON(b *testing.B) {
+	benchDecode(b, writeJSONTo, func(blob []byte) (*Dataset, error) {
+		return ReadJSON(bytes.NewReader(blob))
+	})
+}
+
+func BenchmarkTraceDecodeBinary(b *testing.B) {
+	benchDecode(b, writeBinTo, func(blob []byte) (*Dataset, error) {
+		return ReadBinary(bytes.NewReader(blob))
+	})
+}
+
+var benchClassNames = benchDataset().ClassNames

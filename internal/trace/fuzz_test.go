@@ -35,6 +35,53 @@ func FuzzReadCSV(f *testing.F) {
 	})
 }
 
+// FuzzReadBinary feeds the columnar reader arbitrary bytes — truncations
+// and bit flips of valid files are in the seed corpus's neighbourhood — and
+// checks that it never panics, and that anything it accepts re-encodes and
+// re-reads to the same dataset (so a forged input can at worst be a valid
+// dataset, never a parser state confusion).
+func FuzzReadBinary(f *testing.F) {
+	seed := func(build func(d *Dataset)) {
+		d := &Dataset{ClassNames: []string{"a", "b"}}
+		build(d)
+		var buf bytes.Buffer
+		if err := d.WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(func(d *Dataset) { d.Add(0, 20, []float64{1.5, 2.5, 2.5}) })
+	seed(func(d *Dataset) {
+		d.Add(0, 20, []float64{0.25, 0.5, 0.75, 0.5}) // quantized encoding
+		d.Add(1, 50, nil)                             // empty trace
+		d.Traces = append(d.Traces, Trace{Label: 0, Name: "other", PeriodMS: 20, Samples: []float64{3}})
+	})
+	seed(func(d *Dataset) {})
+	f.Add([]byte("MAYT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		ds, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteBinary(&buf); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		again, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(again.Traces) != len(ds.Traces) || len(again.ClassNames) != len(ds.ClassNames) {
+			t.Fatalf("round trip changed shape: %d/%d traces, %d/%d classes",
+				len(ds.Traces), len(again.Traces), len(ds.ClassNames), len(again.ClassNames))
+		}
+		if !datasetsEqual(ds, again) {
+			t.Fatal("round trip changed contents")
+		}
+	})
+}
+
 // FuzzReadJSON exercises the JSON path the same way.
 func FuzzReadJSON(f *testing.F) {
 	f.Add(`{"class_names":["a"],"traces":[{"Label":0,"Name":"a","PeriodMS":20,"Samples":[1,2]}]}`)

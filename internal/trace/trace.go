@@ -107,31 +107,44 @@ func ReadCSV(r io.Reader, classNames []string) (*Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(row) < 4 {
-			return nil, fmt.Errorf("trace: short row with %d fields", len(row))
-		}
-		label, err := strconv.Atoi(row[0])
+		tr, err := parseCSVRow(row)
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad label %q: %w", row[0], err)
+			return nil, err
 		}
-		if label < 0 || label >= len(classNames) {
-			return nil, fmt.Errorf("trace: label %d out of range", label)
+		if tr.Label < 0 || tr.Label >= len(classNames) {
+			return nil, fmt.Errorf("trace: label %d out of range", tr.Label)
 		}
-		period, err := strconv.ParseFloat(row[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: bad period %q: %w", row[2], err)
-		}
-		samples := make([]float64, 0, len(row)-3)
-		for _, f := range row[3:] {
-			v, err := strconv.ParseFloat(f, 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace: bad sample %q: %w", f, err)
-			}
-			samples = append(samples, v)
-		}
-		d.Traces = append(d.Traces, Trace{Label: label, Name: row[1], PeriodMS: period, Samples: samples})
+		d.Traces = append(d.Traces, tr)
 	}
 	return d, nil
+}
+
+// parseCSVRow decodes one label,name,period_ms,s0,... row. Label range
+// checking is the caller's job (ReadCSV checks against its class table,
+// ReadCSVInfer builds the table from what it sees).
+func parseCSVRow(row []string) (Trace, error) {
+	// Three fields (label, name, period) is a legal zero-sample trace —
+	// WriteCSV emits exactly that for an empty Samples slice.
+	if len(row) < 3 {
+		return Trace{}, fmt.Errorf("trace: short row with %d fields", len(row))
+	}
+	label, err := strconv.Atoi(row[0])
+	if err != nil {
+		return Trace{}, fmt.Errorf("trace: bad label %q: %w", row[0], err)
+	}
+	period, err := strconv.ParseFloat(row[2], 64)
+	if err != nil {
+		return Trace{}, fmt.Errorf("trace: bad period %q: %w", row[2], err)
+	}
+	samples := make([]float64, 0, len(row)-3)
+	for _, f := range row[3:] {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: bad sample %q: %w", f, err)
+		}
+		samples = append(samples, v)
+	}
+	return Trace{Label: label, Name: row[1], PeriodMS: period, Samples: samples}, nil
 }
 
 // MarshalJSON / JSON round-trip use the natural struct encoding; a small
