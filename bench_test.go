@@ -97,7 +97,7 @@ func BenchmarkFig04_Masks(b *testing.B) {
 
 func BenchmarkTable01_ControllerResponse(b *testing.B) {
 	r := runOnce(b, func() (*experiments.TableIResult, error) {
-		return experiments.TableI(benchScale(), 1)
+		return experiments.TableI(context.Background(), benchScale(), 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.TotalStepNanos
@@ -111,7 +111,7 @@ func BenchmarkFig06_AppDetection(b *testing.B) {
 	sc := benchScale()
 	sc.RunsPerClass = 60
 	r := runOnce(b, func() (*experiments.AttackResult, error) {
-		return experiments.Fig6(sc, 1)
+		return experiments.Fig6(context.Background(), sc, 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.Outcomes
@@ -124,7 +124,7 @@ func BenchmarkFig06_AppDetection(b *testing.B) {
 
 func BenchmarkFig07_SummaryStats(b *testing.B) {
 	r := runOnce(b, func() (*experiments.Fig7Result, error) {
-		return experiments.Fig7(benchScale(), 1)
+		return experiments.Fig7(context.Background(), benchScale(), 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.MedianSpread
@@ -135,7 +135,7 @@ func BenchmarkFig07_SummaryStats(b *testing.B) {
 
 func BenchmarkFig08_VideoDetection(b *testing.B) {
 	r := runOnce(b, func() (*experiments.AttackResult, error) {
-		return experiments.Fig8(benchScale(), 1)
+		return experiments.Fig8(context.Background(), benchScale(), 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.Outcomes
@@ -148,7 +148,7 @@ func BenchmarkFig08_VideoDetection(b *testing.B) {
 
 func BenchmarkFig09_WebpageDetection(b *testing.B) {
 	r := runOnce(b, func() (*experiments.AttackResult, error) {
-		return experiments.Fig9(benchScale(), 1)
+		return experiments.Fig9(context.Background(), benchScale(), 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.Outcomes
@@ -161,7 +161,7 @@ func BenchmarkFig09_WebpageDetection(b *testing.B) {
 
 func BenchmarkFig10_AveragedTraces(b *testing.B) {
 	r := runOnce(b, func() (*experiments.Fig10Result, error) {
-		return experiments.Fig10(benchScale(), 1)
+		return experiments.Fig10(context.Background(), benchScale(), 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.MeanSpread
@@ -173,7 +173,7 @@ func BenchmarkFig10_AveragedTraces(b *testing.B) {
 
 func BenchmarkFig11_ChangePoints(b *testing.B) {
 	r := runOnce(b, func() (*experiments.Fig11Result, error) {
-		return experiments.Fig11(benchScale(), 1)
+		return experiments.Fig11(context.Background(), benchScale(), 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.MatchScore
@@ -187,7 +187,7 @@ func BenchmarkFig12_SamplingSweep(b *testing.B) {
 	sc := benchScale()
 	sc.RunsPerClass = 15
 	r := runOnce(b, func() (*experiments.Fig12Result, error) {
-		return experiments.Fig12(sc, 1)
+		return experiments.Fig12(context.Background(), sc, 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.Accuracy
@@ -199,7 +199,7 @@ func BenchmarkFig12_SamplingSweep(b *testing.B) {
 
 func BenchmarkFig13_Tracking(b *testing.B) {
 	r := runOnce(b, func() (*experiments.Fig13Result, error) {
-		return experiments.Fig13(benchScale(), 1)
+		return experiments.Fig13(context.Background(), benchScale(), 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.TrackingMAD
@@ -216,7 +216,7 @@ func BenchmarkFig13_Tracking(b *testing.B) {
 
 func BenchmarkFig14_Overheads(b *testing.B) {
 	r := runOnce(b, func() (*experiments.Fig14Result, error) {
-		return experiments.Fig14(benchScale(), 1)
+		return experiments.Fig14(context.Background(), benchScale(), 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.Defenses
@@ -230,7 +230,7 @@ func BenchmarkFig14_Overheads(b *testing.B) {
 
 func BenchmarkFig15_Platypus(b *testing.B) {
 	r := runOnce(b, func() (*experiments.Fig15Result, error) {
-		return experiments.Fig15(benchScale(), 1)
+		return experiments.Fig15(context.Background(), benchScale(), 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.BaselineSeparation
@@ -243,7 +243,7 @@ func BenchmarkDTWSeparation(b *testing.B) {
 	sc := benchScale()
 	sc.RunsPerClass = 10
 	r := runOnce(b, func() (*experiments.DTWResult, error) {
-		return experiments.DTWAnalysis(sc, 1)
+		return experiments.DTWAnalysis(context.Background(), sc, 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.BaselineAccuracy
@@ -281,7 +281,7 @@ func BenchmarkAblationMasks(b *testing.B) {
 	sc := benchScale()
 	sc.RunsPerClass = 20
 	r := runOnce(b, func() (*experiments.MaskAblationResult, error) {
-		return experiments.AblationMasks(sc, 1)
+		return experiments.AblationMasks(context.Background(), sc, 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.Accuracy
@@ -292,7 +292,7 @@ func BenchmarkAblationMasks(b *testing.B) {
 
 func BenchmarkAblationGuardband(b *testing.B) {
 	r := runOnce(b, func() (*experiments.GuardbandAblationResult, error) {
-		return experiments.AblationGuardband(benchScale(), 1)
+		return experiments.AblationGuardband(context.Background(), benchScale(), 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.TrackingMAD
@@ -304,7 +304,7 @@ func BenchmarkAblationGuardband(b *testing.B) {
 
 func BenchmarkAblationActuators(b *testing.B) {
 	r := runOnce(b, func() (*experiments.ActuatorAblationResult, error) {
-		return experiments.AblationActuators(benchScale(), 1)
+		return experiments.AblationActuators(context.Background(), benchScale(), 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.TrackingMAD
@@ -315,7 +315,7 @@ func BenchmarkAblationActuators(b *testing.B) {
 
 func BenchmarkAblationNhold(b *testing.B) {
 	r := runOnce(b, func() (*experiments.NholdAblationResult, error) {
-		return experiments.AblationNhold(benchScale(), 1)
+		return experiments.AblationNhold(context.Background(), benchScale(), 1)
 	})
 	for i := 0; i < b.N; i++ {
 		_ = r.Peaks
@@ -357,7 +357,7 @@ func benchCollect(b *testing.B, workers int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ds, _ := defense.Collect(spec)
+		ds, _ := defense.Collect(context.Background(), spec)
 		if len(ds.Traces) != 16 {
 			b.Fatalf("collected %d traces", len(ds.Traces))
 		}

@@ -12,9 +12,15 @@
 // Collection and training fan out across -parallel workers; results are
 // identical for any worker count. With -folds K the MLP is additionally
 // k-fold cross-validated and the per-fold accuracies reported.
+//
+// -debug-addr serves net/http/pprof and a Prometheus-style /metrics
+// endpoint (collection counters, pool depth, maya_build_info) while the
+// attack runs — collection at paper scale takes minutes, and the endpoint
+// is how you watch it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,8 +28,11 @@ import (
 
 	"github.com/maya-defense/maya/internal/attack"
 	"github.com/maya-defense/maya/internal/core"
+	"github.com/maya-defense/maya/internal/debugsrv"
 	"github.com/maya-defense/maya/internal/defense"
+	"github.com/maya-defense/maya/internal/runner"
 	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/telemetry"
 )
 
 func main() {
@@ -37,7 +46,19 @@ func main() {
 	attacker := flag.String("attacker", "mlp", "classifier: mlp, template, knn")
 	parallel := flag.Int("parallel", 0, "worker count for collection and training (0 = GOMAXPROCS)")
 	folds := flag.Int("folds", 0, "additionally k-fold cross-validate the MLP (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address during the run")
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	debugsrv.RegisterBuildInfo(reg)
+	if *debugAddr != "" {
+		srv, err := debugsrv.Serve(context.Background(), *debugAddr, reg)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("debug server on http://%s (pprof at /debug/pprof/, metrics at /metrics)", srv.Addr())
+	}
 
 	var kind defense.Kind
 	switch *defName {
@@ -104,7 +125,7 @@ func main() {
 	log.Printf("collecting %d traces × %d classes under %v on %s...",
 		*runs, len(classes), kind, cfg.Name)
 	start := time.Now() //maya:wallclock collection timing for the progress log only
-	ds, _ := defense.Collect(defense.CollectSpec{
+	ds, _ := defense.Collect(context.Background(), defense.CollectSpec{
 		Cfg:               cfg,
 		Design:            defense.NewDesign(kind, cfg, art, 20),
 		Classes:           classes,
@@ -115,6 +136,8 @@ func main() {
 		Outlet:            outlet,
 		Seed:              *seed,
 		Workers:           *parallel,
+		Metrics:           defense.NewCollectMetrics(reg),
+		PoolMetrics:       runner.NewMetrics(reg),
 	})
 	log.Printf("collected in %.1fs; training the MLP...", time.Since(start).Seconds()) //maya:wallclock progress log
 

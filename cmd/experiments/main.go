@@ -9,6 +9,8 @@
 //	            [-debug-addr host:port]
 //	            [-cache-dir path] [-cache off|rw|ro] [-cache-stats]
 //	            [-cache-annotate]
+//	            [-artifacts dir] [-trace file] [-trace-sample N]
+//	            [-profile cpu,heap]
 //
 // With no -run filter it executes the complete suite. Experiments run across
 // -parallel workers; the report body is byte-identical for every worker
@@ -17,7 +19,7 @@
 // section when requested, stderr otherwise. -telemetry appends the metrics
 // registry (pool depth, job latency histograms) as a report section, and
 // -debug-addr serves net/http/pprof plus a Prometheus-style /metrics
-// endpoint while the suite runs.
+// endpoint (including maya_build_info) while the suite runs.
 //
 // The experiment cache (-cache-dir, or the MAYA_EXPCACHE environment
 // variable) replays previously computed report sections when code version,
@@ -27,6 +29,16 @@
 // opts into " [cached]" markers on replayed section headers, and
 // -cache-stats prints a hits/misses/corrupt/writes summary line to stdout
 // (the report itself then normally goes to -o).
+//
+// -artifacts collects the run's provenance into a directory: manifest.json
+// (code version, canonical scale, seed, per-entry content digests, cache
+// stats, per-phase timing rollup, toolchain identity) is always written
+// there; -trace additionally records the hierarchical span trace (suite →
+// runner jobs → engine tick phases) and exports it as Chrome trace-event
+// JSON (load the file in Perfetto) or JSONL when the file name ends in
+// .jsonl; -trace-sample N keeps every N-th control tick's phase breakdown;
+// and -profile captures cpu and/or heap pprof profiles alongside. Tracing
+// observes only: the report body stays byte-identical with it on or off.
 package main
 
 import (
@@ -35,15 +47,16 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"regexp"
+	"strings"
 	"time"
 
+	"github.com/maya-defense/maya/internal/debugsrv"
 	"github.com/maya-defense/maya/internal/expcache"
 	"github.com/maya-defense/maya/internal/experiments"
+	"github.com/maya-defense/maya/internal/provenance"
 	"github.com/maya-defense/maya/internal/runner"
 	"github.com/maya-defense/maya/internal/telemetry"
 )
@@ -62,6 +75,10 @@ func main() {
 	cacheMode := flag.String("cache", "rw", "experiment cache mode: off, rw, or ro")
 	cacheStats := flag.Bool("cache-stats", false, "print cache hit/miss/corrupt/write counts to stdout after the run")
 	cacheAnnotate := flag.Bool("cache-annotate", false, "mark cache-replayed report sections with [cached] (breaks byte-identity with uncached reports)")
+	artifacts := flag.String("artifacts", "", "write manifest.json (plus -trace/-profile captures) into this directory")
+	tracePath := flag.String("trace", "", "record a hierarchical span trace to this file in the artifact dir (.json Chrome trace-event, .jsonl JSONL)")
+	traceSample := flag.Int("trace-sample", 1, "trace every N-th control tick's phase breakdown (1 = all)")
+	profileKinds := flag.String("profile", "", "capture pprof profiles into the artifact dir: comma list of cpu, heap")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -94,8 +111,40 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
+	debugsrv.RegisterBuildInfo(reg)
+	ctx := context.Background()
 	if *debugAddr != "" {
-		serveDebug(*debugAddr, reg)
+		srv, err := debugsrv.Serve(ctx, *debugAddr, reg)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("debug server on http://%s (pprof at /debug/pprof/, metrics at /metrics)", srv.Addr())
+	}
+
+	if (*tracePath != "" || *profileKinds != "") && *artifacts == "" {
+		log.Fatal("-trace and -profile need -artifacts to know where to write")
+	}
+	if *artifacts != "" {
+		if err := os.MkdirAll(*artifacts, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The tracer and its root span cover the whole sweep; runner jobs nest
+	// under the root via the context, engine tick phases under the jobs.
+	var tr *telemetry.Tracer
+	if *tracePath != "" {
+		tr = telemetry.NewTracer(telemetry.DefaultTraceCapacity)
+		tr.SetTickSample(*traceSample)
+		telemetry.SetActiveTrace(tr)
+		root := telemetry.NewRootContext("suite", *seed)
+		ctx = telemetry.ContextWithSpan(ctx, root)
+	}
+
+	profiles, err := provenance.StartProfiles(*artifacts, *profileKinds)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	mode, err := expcache.ParseMode(*cacheMode)
@@ -111,7 +160,7 @@ func main() {
 
 	entries := experiments.FilterSuite(experiments.Suite(), filter)
 	start := time.Now() //maya:wallclock suite timing for the summary line only
-	outs := experiments.RunSuiteCached(context.Background(), entries, sc, *seed,
+	outs := experiments.RunSuiteCached(ctx, entries, sc, *seed,
 		runner.Options{Workers: *parallel, Timeout: *timeout, Metrics: runner.NewMetrics(reg)},
 		experiments.CacheConfig{Cache: cache, Version: version})
 	failed := 0
@@ -144,26 +193,76 @@ func main() {
 		st := cache.Stats()
 		fmt.Printf("expcache: %s (dir=%s, mode=%s, version=%s)\n", st, cache.Dir(), cache.Mode(), version)
 	}
+	if *artifacts != "" {
+		if err := writeArtifacts(*artifacts, *tracePath, *traceSample, version, sc, *seed, *parallel, entries, outs, cache, tr, profiles); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
 }
 
-// serveDebug exposes pprof (via the default mux) and the metrics registry
-// on addr for the duration of the run.
-func serveDebug(addr string, reg *telemetry.Registry) {
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = reg.WriteProm(w)
-	})
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		log.Fatalf("debug server: %v", err)
-	}
-	log.Printf("debug server on http://%s (pprof at /debug/pprof/, metrics at /metrics)", ln.Addr())
-	go func() {
-		if err := http.Serve(ln, nil); err != nil {
-			log.Printf("debug server stopped: %v", err)
+// writeArtifacts finalizes the artifact directory: profile capture, trace
+// export, and the provenance manifest tying them to the report.
+func writeArtifacts(dir, tracePath string, traceSample int, version string, sc experiments.Scale, seed uint64,
+	workers int, entries []experiments.SuiteEntry, outs []experiments.SuiteOutcome,
+	cache *expcache.Cache, tr *telemetry.Tracer, profiles *provenance.Profiles) error {
+	m := provenance.New(version)
+	m.Scale = experiments.CanonicalScale(sc)
+	m.Seed = seed
+	m.Workers = workers
+	for i, o := range outs {
+		e := provenance.Entry{
+			Name:       o.Name,
+			Digest:     entries[i].CacheKey(version, sc, seed).String(),
+			Cached:     o.Cached,
+			TimedOut:   o.TimedOut,
+			WallMS:     o.Wall.Milliseconds(),
+			AllocBytes: o.AllocBytes,
 		}
-	}()
+		if o.Err != nil {
+			e.Error = o.Err.Error()
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	if cache.Enabled() {
+		m.SetCache(cache.Mode().String(), cache.Stats())
+	}
+
+	files, err := profiles.Stop()
+	if err != nil {
+		return err
+	}
+	m.Profiles = files
+
+	if tr != nil {
+		telemetry.SetActiveTrace(nil)
+		events := tr.Snapshot()
+		name := filepath.Base(tracePath)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(name, ".jsonl") {
+			err = telemetry.WriteTraceJSONL(f, events)
+		} else {
+			err = telemetry.WriteChromeTrace(f, events)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		m.SetTrace(name, events, tr.Dropped(), traceSample)
+		log.Printf("trace: %s (%d spans, %d dropped)", filepath.Join(dir, name), len(events), tr.Dropped())
+	}
+
+	path := filepath.Join(dir, "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		return err
+	}
+	log.Printf("manifest: %s", path)
+	return nil
 }

@@ -30,12 +30,22 @@
 // columnar (MAYT) encodings; the formats are inferred from the two file
 // extensions (.csv, .json, .bin/.mayt). CSV inputs need no side-channel
 // class table — it is rebuilt from the rows.
+//
+// -trace records the engine's hierarchical span trace (per-tick phase
+// breakdown: mask generation, sensor guard, controller step, actuator
+// apply) for Maya designs and writes it as Chrome trace-event JSON (load in
+// Perfetto) or JSONL when the file ends in .jsonl; -trace-sample N keeps
+// every N-th control tick. -trace-summary aggregates any such trace file —
+// from mayactl or cmd/experiments — into a per-phase attribution table.
+// -debug-addr serves net/http/pprof and /metrics while the run executes.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
@@ -43,6 +53,7 @@ import (
 	"strings"
 
 	"github.com/maya-defense/maya/internal/core"
+	"github.com/maya-defense/maya/internal/debugsrv"
 	"github.com/maya-defense/maya/internal/defense"
 	"github.com/maya-defense/maya/internal/fault"
 	"github.com/maya-defense/maya/internal/plot"
@@ -127,7 +138,18 @@ func main() {
 	dumpFaultPlan := flag.String("dump-fault-plan", "", "print a canned fault plan as JSON and exit")
 	list := flag.Bool("list", false, "list the built-in workloads and exit")
 	convert := flag.Bool("convert", false, "convert a trace dataset between formats: mayactl -convert src dst")
+	tracePath := flag.String("trace", "", "write the engine's span trace (Maya designs) to this file (.json Chrome trace-event, .jsonl JSONL)")
+	traceSample := flag.Int("trace-sample", 1, "trace every N-th control tick's phase breakdown (1 = all)")
+	traceSummary := flag.String("trace-summary", "", "aggregate a trace file into a per-phase attribution table and exit")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address during the run")
 	flag.Parse()
+
+	if *traceSummary != "" {
+		if err := summarizeTrace(os.Stdout, *traceSummary); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *convert {
 		if flag.NArg() != 2 {
@@ -203,6 +225,26 @@ func main() {
 	eng, _ := pol.(*core.Engine)
 
 	reg := telemetry.NewRegistry()
+	debugsrv.RegisterBuildInfo(reg)
+	if *debugAddr != "" {
+		srv, err := debugsrv.Serve(context.Background(), *debugAddr, reg)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("debug server on http://%s (pprof at /debug/pprof/, metrics at /metrics)", srv.Addr())
+	}
+
+	var tr *telemetry.Tracer
+	if *tracePath != "" {
+		if eng == nil {
+			log.Fatalf("-trace needs a Maya design (constant or gs), not %q", *defName)
+		}
+		tr = telemetry.NewTracer(telemetry.DefaultTraceCapacity)
+		tr.SetTickSample(*traceSample)
+		eng.SetTrace(tr, telemetry.NewRootContext("mayactl", *seed))
+	}
+
 	var em *core.EngineMetrics
 	var flight *telemetry.FlightRecorder
 	if eng != nil {
@@ -324,12 +366,53 @@ func main() {
 		fmt.Printf("flight:    %s (%d records, %d dropped)\n", *flightPath, flight.Total(), flight.Dropped())
 	}
 
+	if tr != nil {
+		if err := writeTrace(*tracePath, tr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("spans:     %s (%d spans, %d dropped)\n", *tracePath, tr.Len(), tr.Dropped())
+	}
+
 	if *showMetrics {
 		fmt.Println("\ntelemetry:")
 		if err := reg.WriteProm(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}
+}
+
+// summarizeTrace renders the per-phase attribution table for a trace file
+// (Chrome trace-event JSON, bare event array, or JSONL — auto-detected).
+func summarizeTrace(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := telemetry.ParseTraceEvents(f)
+	if err != nil {
+		return err
+	}
+	return telemetry.WriteSummaryTable(w, events)
+}
+
+// writeTrace exports the tracer's retained spans; the format follows the
+// file extension (.jsonl JSONL, anything else Chrome trace-event JSON).
+func writeTrace(path string, tr *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	events := tr.Snapshot()
+	if strings.HasSuffix(path, ".jsonl") {
+		err = telemetry.WriteTraceJSONL(f, events)
+	} else {
+		err = telemetry.WriteChromeTrace(f, events)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // convertDataset re-encodes a dataset file; formats come from the

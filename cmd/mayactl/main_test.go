@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/telemetry"
+)
+
+// TestGoldenTraceSummaryRoundTrip is the PR's acceptance check: the
+// committed Chrome trace-event export parses back and aggregates into
+// exactly the committed attribution table.
+func TestGoldenTraceSummaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := summarizeTrace(&buf, filepath.Join("testdata", "trace_golden.json")); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "trace_golden_summary.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("summary drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestGoldenTraceParsesExactNS pins the lossless side channel: the Chrome
+// µs floats are presentation only, the args carry exact nanoseconds.
+func TestGoldenTraceParsesExactNS(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "trace_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := telemetry.ParseTraceEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 17 {
+		t.Fatalf("got %d events, want 17", len(events))
+	}
+	if events[0].Name != "job.run" || events[0].DurNS != 4_000_000 || events[0].Label != "blackscholes" {
+		t.Fatalf("root span wrong: %+v", events[0])
+	}
+	// Span IDs are deterministic functions of identity, so the committed
+	// file must agree with SpanID today — a silent ID-scheme change would
+	// orphan every archived trace.
+	root := telemetry.NewRootContext("mayactl", 42)
+	if want := telemetry.SpanID(root.ID, "job.run", 0); events[0].ID != want {
+		t.Fatalf("job.run ID = %d, want %d (SpanID scheme drifted)", events[0].ID, want)
+	}
+	for _, ev := range events[1:] {
+		if ev.Parent != events[0].ID {
+			t.Fatalf("tick span not parented under the job: %+v", ev)
+		}
+	}
+}
+
+// TestWriteTraceFormats exercises the extension switch on a real tracer.
+func TestWriteTraceFormats(t *testing.T) {
+	tr := telemetry.NewTracer(64)
+	tr.Complete("tick.mask", "engine", telemetry.NewRootContext("t", 1), 0, 0, 100, 0)
+	dir := t.TempDir()
+	for _, name := range []string{"out.json", "out.jsonl"} {
+		path := filepath.Join(dir, name)
+		if err := writeTrace(path, tr); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := telemetry.ParseTraceEvents(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != 1 || events[0].Name != "tick.mask" {
+			t.Fatalf("%s: round-trip lost the span: %+v", name, events)
+		}
+	}
+}

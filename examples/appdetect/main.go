@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -44,7 +45,7 @@ func main() {
 	for _, kind := range []defense.Kind{defense.RandomInputs, defense.MayaGS} {
 		start := time.Now() //maya:wallclock training-time report only
 		fmt.Printf("\n== attacking %v: collecting 60 traces per class...\n", kind)
-		ds, _ := defense.Collect(defense.CollectSpec{
+		ds, _ := defense.Collect(context.Background(), defense.CollectSpec{
 			Cfg:          cfg,
 			Design:       defense.NewDesign(kind, cfg, art, 20),
 			Classes:      classes,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,7 +61,7 @@ func main() {
 	spec.Train.Epochs = 40
 	for _, kind := range []defense.Kind{defense.Baseline, defense.MayaGS} {
 		fmt.Printf("\n== webpage attack against %v (40 visits per page)...\n", kind)
-		ds, _ := defense.Collect(defense.CollectSpec{
+		ds, _ := defense.Collect(context.Background(), defense.CollectSpec{
 			Cfg:               cfg,
 			Design:            defense.NewDesign(kind, cfg, art, 20),
 			Classes:           classes,

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 
 	for _, kind := range []defense.Kind{defense.Baseline, defense.MayaGS} {
 		fmt.Printf("\n== %v: averaging %d runs of 1 s per instruction\n", kind, runs)
-		ds, _ := defense.Collect(defense.CollectSpec{
+		ds, _ := defense.Collect(context.Background(), defense.CollectSpec{
 			Cfg:          cfg,
 			Design:       defense.NewDesign(kind, cfg, art, 20),
 			Classes:      classes,

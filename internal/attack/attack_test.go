@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -45,7 +46,7 @@ func collectMini(t *testing.T, kind defense.Kind, seed uint64, runs, maxTicks in
 	if kind == defense.MayaConstant || kind == defense.MayaGS {
 		art = sys1Art(t)
 	}
-	ds, _ := defense.Collect(defense.CollectSpec{
+	ds, _ := defense.Collect(context.Background(), defense.CollectSpec{
 		Cfg:          cfg,
 		Design:       defense.NewDesign(kind, cfg, art, 20),
 		Classes:      miniClasses(),

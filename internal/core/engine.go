@@ -75,6 +75,12 @@ type Engine struct {
 	flight *telemetry.FlightRecorder
 	// metrics, when non-nil, feeds the aggregate counters.
 	metrics *EngineMetrics
+	// tracer, when non-nil, records each sampled tick's phase breakdown
+	// (tick.mask / tick.sensor / tick.control / tick.actuate) as spans
+	// parented under traceCtx. Like flight and metrics, tracing observes
+	// the host clock only for timestamps and never feeds decisions.
+	tracer   *telemetry.Tracer
+	traceCtx telemetry.SpanContext
 
 	// guard, when non-nil, filters implausible sensor readings before the
 	// controller sees them and re-initializes blown-up state (see Guard).
@@ -135,6 +141,16 @@ func (e *Engine) Flight() *telemetry.FlightRecorder { return e.flight }
 // SetMetrics attaches aggregate metrics (nil detaches).
 func (e *Engine) SetMetrics(m *EngineMetrics) { e.metrics = m }
 
+// SetTrace attaches a tracer (nil detaches) and the parent span to nest
+// this engine's per-tick phase spans under — typically the runner job span
+// carried by the collection context (telemetry.SpanFromContext). Tick
+// phase spans are keyed by the step number, so their identities are
+// deterministic; the tracer's tick sampling bounds the volume.
+func (e *Engine) SetTrace(tr *telemetry.Tracer, parent telemetry.SpanContext) {
+	e.tracer = tr
+	e.traceCtx = parent
+}
+
 // NewEngine assembles an engine from a synthesized controller (the caller
 // keeps ownership; pass a Clone for concurrent runs), a mask generator, and
 // the machine's actuator set.
@@ -171,6 +187,14 @@ func (e *Engine) Reset(seed uint64) {
 //maya:hotpath
 func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 	start := time.Now() //maya:wallclock overhead accounting (§VII-E); never feeds decisions
+	// Phase timestamps for the sampled-tick trace. All reads go through the
+	// tracer's clock (blessed inside telemetry); when the tick is not
+	// sampled the whole path is four int64 zero-assignments and one branch.
+	traced := e.tracer.TickSampled(step)
+	var tMask, tSensor, tControl, tActuate int64
+	if traced {
+		tMask = e.tracer.Clock()
+	}
 	target := e.gen.Next()
 	ditherW := 0.0
 	if e.dither != nil && e.balloonGainW > 0 {
@@ -180,6 +204,9 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 	// component plus the open-loop high-frequency component.
 	e.Targets = append(e.Targets, target+ditherW)
 
+	if traced {
+		tSensor = e.tracer.Clock()
+	}
 	// Measurement guard: reject non-finite or implausible readings before
 	// anything downstream (controller, NLMS gain estimator) consumes them.
 	rawW := powerW
@@ -191,6 +218,9 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 		}
 	}
 
+	if traced {
+		tControl = e.tracer.Clock()
+	}
 	var u []float64
 	if step == 0 {
 		// No sensor reading exists yet; hold the operating point rather
@@ -211,6 +241,9 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 		if e.metrics != nil {
 			e.metrics.StateReinits.Inc()
 		}
+	}
+	if traced {
+		tActuate = e.tracer.Clock()
 	}
 	u2 := u[2]
 	if e.dither != nil && e.balloonGainW > 0 {
@@ -265,6 +298,14 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 		}
 	}
 	d, idle, b, clipped := e.knobs.FromNormsInfo(uq)
+	if traced {
+		tEnd := e.tracer.Clock()
+		seq := uint64(step)
+		e.tracer.Complete("tick.mask", "engine", e.traceCtx, seq, tMask, tSensor-tMask, int64(step))
+		e.tracer.Complete("tick.sensor", "engine", e.traceCtx, seq, tSensor, tControl-tSensor, int64(step))
+		e.tracer.Complete("tick.control", "engine", e.traceCtx, seq, tControl, tActuate-tControl, int64(step))
+		e.tracer.Complete("tick.actuate", "engine", e.traceCtx, seq, tActuate, tEnd-tActuate, int64(step))
+	}
 
 	if e.metrics != nil {
 		e.metrics.Steps.Inc()

@@ -1,0 +1,106 @@
+// Package debugsrv is the shared debug HTTP server behind every binary's
+// -debug-addr flag: net/http/pprof endpoints plus the telemetry registry as
+// a Prometheus /metrics page, on a private mux (nothing leaks onto
+// http.DefaultServeMux). Serving is opt-in and observational only — the
+// pipeline's behavior and report bytes are identical with the server on or
+// off.
+//
+// Starting the server also registers the maya_build_info metric: a
+// constant-1 info gauge whose version label carries expcache.CodeVersion(),
+// so a scrape identifies exactly which code produced the numbers next to
+// it (the same version string that keys the experiment cache and the run
+// manifest).
+package debugsrv
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+
+	"github.com/maya-defense/maya/internal/expcache"
+	"github.com/maya-defense/maya/internal/telemetry"
+)
+
+// Server is a running debug server. Close it explicitly or cancel the
+// context passed to Serve.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// RegisterBuildInfo registers the maya_build_info metric on reg: constant
+// value 1, with the build identity (code version, Go runtime, OS, arch) in
+// labels. Idempotent, like all registry registration.
+func RegisterBuildInfo(reg *telemetry.Registry) {
+	reg.Info("maya_build_info",
+		"build identity of this binary; value is constant 1",
+		map[string]string{
+			"version":   expcache.CodeVersion(),
+			"goversion": runtime.Version(),
+			"goos":      runtime.GOOS,
+			"goarch":    runtime.GOARCH,
+		})
+}
+
+// Handler returns the debug mux: /metrics (Prometheus text exposition
+// 0.0.4) and the /debug/pprof/ family. Exposed for tests; most callers
+// want Serve.
+func Handler(reg *telemetry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WriteProm(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves the debug mux until ctx is cancelled (or
+// Close is called). It registers maya_build_info on reg before serving.
+// addr may use port 0; the bound address is available from Addr.
+func Serve(ctx context.Context, addr string, reg *telemetry.Registry) (*Server, error) {
+	RegisterBuildInfo(reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler(reg)},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		// Serve returns http.ErrServerClosed on shutdown; any other error
+		// means the listener died, which the owner observes via Wait/Close.
+		_ = s.srv.Serve(ln)
+	}()
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = s.srv.Close()
+		case <-s.done:
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the server's bound address ("127.0.0.1:43210").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// Wait blocks until the serve loop exits (context cancel or Close).
+func (s *Server) Wait() { <-s.done }

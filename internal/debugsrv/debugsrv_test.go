@@ -1,0 +1,212 @@
+package debugsrv
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/maya-defense/maya/internal/telemetry"
+)
+
+func startServer(t *testing.T) (*Server, context.CancelFunc, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Counter("debugsrv_test_total", "test counter").Add(7)
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := Serve(ctx, "127.0.0.1:0", reg)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cancel(); s.Wait() })
+	return s, cancel, reg
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, _, _ := startServer(t)
+	resp := get(t, fmt.Sprintf("http://%s/metrics", s.Addr()))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE debugsrv_test_total counter",
+		"debugsrv_test_total 7",
+		"# TYPE maya_build_info gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+	// The build-info line must be a constant-1 gauge with its labels sorted.
+	var infoLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "maya_build_info{") {
+			infoLine = line
+		}
+	}
+	if infoLine == "" {
+		t.Fatalf("no maya_build_info sample line:\n%s", out)
+	}
+	if !strings.HasSuffix(infoLine, "} 1") {
+		t.Fatalf("build info value is not 1: %q", infoLine)
+	}
+	labelOrder := []string{"goarch=", "goos=", "goversion=", "version="}
+	last := -1
+	for _, l := range labelOrder {
+		i := strings.Index(infoLine, l)
+		if i < 0 {
+			t.Fatalf("build info missing label %q: %q", l, infoLine)
+		}
+		if i < last {
+			t.Fatalf("labels not sorted: %q", infoLine)
+		}
+		last = i
+	}
+}
+
+// TestMetricsParserShape round-trips the /metrics body through the
+// Prometheus text-format grammar: every non-comment line must be
+// `name[{labels}] value`, every sample preceded by its TYPE, histogram
+// buckets cumulative.
+func TestMetricsParserShape(t *testing.T) {
+	s, _, reg := startServer(t)
+	reg.Histogram("debugsrv_test_seconds", "test histogram", telemetry.DurationBuckets()).Observe(0.001)
+	resp := get(t, fmt.Sprintf("http://%s/metrics", s.Addr()))
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed := map[string]string{}
+	var lastCum uint64
+	var lastHist string
+	for ln, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: blank line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP
+		}
+		// Sample line: name, optional {labels}, space, value.
+		name := line
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.Contains(name, "} ") {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			name = name[:i]
+		} else if i := strings.IndexByte(name, ' '); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok && typed[b] == "histogram" {
+				base = b
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding TYPE", ln+1, name)
+		}
+		if typed[base] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			if base != lastHist {
+				lastHist, lastCum = base, 0
+			}
+			var cum uint64
+			if _, err := fmt.Sscanf(line[strings.Index(line, "} ")+2:], "%d", &cum); err != nil {
+				t.Fatalf("line %d: bad bucket value: %q", ln+1, line)
+			}
+			if cum < lastCum {
+				t.Fatalf("line %d: histogram buckets not cumulative: %q", ln+1, line)
+			}
+			lastCum = cum
+		}
+	}
+	if typed["maya_build_info"] != "gauge" {
+		t.Fatalf("maya_build_info TYPE = %q, want gauge", typed["maya_build_info"])
+	}
+}
+
+func TestPprofReachable(t *testing.T) {
+	s, _, _ := startServer(t)
+	resp := get(t, fmt.Sprintf("http://%s/debug/pprof/", s.Addr()))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "heap") {
+		t.Fatalf("pprof index does not list profiles:\n%.300s", body)
+	}
+	heap := get(t, fmt.Sprintf("http://%s/debug/pprof/heap?debug=1", s.Addr()))
+	if heap.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/heap status = %d", heap.StatusCode)
+	}
+}
+
+func TestShutdownOnContextCancel(t *testing.T) {
+	s, cancel, _ := startServer(t)
+	addr := s.Addr()
+	cancel()
+	done := make(chan struct{})
+	go func() { s.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down after context cancel")
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", addr)); err == nil {
+		t.Fatal("server still serving after shutdown")
+	}
+}
+
+func TestCloseIsIdempotentWithCancel(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := Serve(ctx, "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	cancel() // must not panic or hang after an explicit Close
+	s.Wait()
+}
+
+func TestServeBadAddr(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	if _, err := Serve(context.Background(), "256.0.0.1:bogus", reg); err == nil {
+		t.Fatal("bad address must error")
+	}
+}

@@ -3,6 +3,7 @@ package defense
 import (
 	"context"
 
+	"github.com/maya-defense/maya/internal/core"
 	"github.com/maya-defense/maya/internal/rng"
 	"github.com/maya-defense/maya/internal/runner"
 	"github.com/maya-defense/maya/internal/signal"
@@ -147,7 +148,9 @@ func NewCollectMetrics(reg *telemetry.Registry) *CollectMetrics {
 // Collect runs the experiment and returns the attacker's dataset along with
 // per-run stats. Runs execute in parallel across CPUs; results are
 // deterministic for a given spec because every run derives its own seeds.
-func Collect(spec CollectSpec) (*trace.Dataset, []RunStats) {
+// ctx bounds the sweep (cancellation abandons unstarted runs) and carries
+// the parent span when the process-wide tracer is active.
+func Collect(ctx context.Context, spec CollectSpec) (*trace.Dataset, []RunStats) {
 	if spec.AttackPeriodTicks <= 0 {
 		spec.AttackPeriodTicks = 20
 	}
@@ -171,9 +174,9 @@ func Collect(spec CollectSpec) (*trace.Dataset, []RunStats) {
 	// seeds from (Seed, label, run) below, so the runner's stream is unused
 	// and results are byte-identical at any worker count.
 	n := len(spec.Classes) * spec.RunsPerClass
-	results, _ := runner.MapN(context.Background(), runner.Options{Workers: spec.Workers, Metrics: spec.PoolMetrics}, n,
-		func(_ context.Context, i int, _ *rng.Stream) (oneResult, error) {
-			return runOne(spec, i/spec.RunsPerClass, i%spec.RunsPerClass), nil
+	results, _ := runner.MapN(ctx, runner.Options{Workers: spec.Workers, Metrics: spec.PoolMetrics}, n,
+		func(jctx context.Context, i int, _ *rng.Stream) (oneResult, error) {
+			return runOne(jctx, spec, i/spec.RunsPerClass, i%spec.RunsPerClass), nil
 		})
 
 	periodMS := float64(spec.AttackPeriodTicks) * spec.Cfg.TickSeconds * 1000
@@ -200,7 +203,7 @@ type oneResult struct {
 }
 
 // runOne executes a single labeled run under the defense.
-func runOne(spec CollectSpec, label, run int) oneResult {
+func runOne(ctx context.Context, spec CollectSpec, label, run int) oneResult {
 	// Per-run seeds: distinct streams for machine noise, workload jitter,
 	// and the defense's secret draws.
 	base := spec.Seed + uint64(label)*1_000_003 + uint64(run)*7_919
@@ -208,6 +211,14 @@ func runOne(spec CollectSpec, label, run int) oneResult {
 	w := spec.Classes[label].New()
 	w.Reset(base + 2)
 	pol := spec.Design.Policy(base + 3)
+	// When the process-wide tracer is on, nest this run's per-tick phase
+	// spans under the runner job span riding the context. Tracing observes
+	// only; the engine's decisions and the recorded samples are unchanged.
+	if tr := telemetry.ActiveTrace(); tr.Enabled() {
+		if eng, ok := pol.(*core.Engine); ok {
+			eng.SetTrace(tr, telemetry.SpanFromContext(ctx))
+		}
+	}
 
 	var sensor sim.PowerSensor
 	if spec.Outlet {

@@ -1,6 +1,7 @@
 package defense
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -88,7 +89,7 @@ func TestCollectShapesAndDeterminism(t *testing.T) {
 		MaxTicks:     3000,
 		Seed:         5,
 	}
-	ds, stats := Collect(spec)
+	ds, stats := Collect(context.Background(), spec)
 	if len(ds.Traces) != 6 {
 		t.Fatalf("traces=%d want 6", len(ds.Traces))
 	}
@@ -105,7 +106,7 @@ func TestCollectShapesAndDeterminism(t *testing.T) {
 		}
 	}
 	// Determinism across invocations (parallel workers must not matter).
-	ds2, _ := Collect(spec)
+	ds2, _ := Collect(context.Background(), spec)
 	for i := range ds.Traces {
 		for j := range ds.Traces[i].Samples {
 			if ds.Traces[i].Samples[j] != ds2.Traces[i].Samples[j] {
@@ -127,7 +128,7 @@ func TestCollectOutletSensor(t *testing.T) {
 		Outlet:            true,
 		Seed:              9,
 	}
-	ds, _ := Collect(spec)
+	ds, _ := Collect(context.Background(), spec)
 	for _, tr := range ds.Traces {
 		if tr.PeriodMS != 50 {
 			t.Fatalf("outlet period %g want 50", tr.PeriodMS)
@@ -158,7 +159,7 @@ func TestDefensesSeparateInPower(t *testing.T) {
 			StopOnFinish: true,
 			Seed:         11,
 		}
-		_, stats := Collect(spec)
+		_, stats := Collect(context.Background(), spec)
 		var agg RunStats
 		for _, s := range stats {
 			if !s.Finished {
@@ -198,7 +199,7 @@ func TestMayaGSTracesFollowMaskNotApp(t *testing.T) {
 		MaxTicks:     30000,
 		Seed:         13,
 	}
-	ds, _ := Collect(spec)
+	ds, _ := Collect(context.Background(), spec)
 	a, b := ds.Traces[0].Samples, ds.Traces[1].Samples
 	n := len(a)
 	if len(b) < n {
@@ -212,7 +213,7 @@ func TestMayaGSTracesFollowMaskNotApp(t *testing.T) {
 func TestCollectDeterministicAcrossWorkers(t *testing.T) {
 	art := sys1Art(t)
 	collect := func(workers int) (*trace.Dataset, []RunStats) {
-		return Collect(CollectSpec{
+		return Collect(context.Background(), CollectSpec{
 			Cfg:          sim.Sys1(),
 			Design:       NewDesign(MayaGS, sim.Sys1(), art, 20),
 			Classes:      AppClasses(0.12)[:3],

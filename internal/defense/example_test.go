@@ -1,6 +1,7 @@
 package defense_test
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/maya-defense/maya/internal/defense"
@@ -12,7 +13,7 @@ import (
 func Example() {
 	cfg := sim.Sys1()
 	classes := defense.AppClasses(0.05)[:2] // blackscholes, bodytrack — tiny
-	ds, stats := defense.Collect(defense.CollectSpec{
+	ds, stats := defense.Collect(context.Background(), defense.CollectSpec{
 		Cfg:          cfg,
 		Design:       defense.NewDesign(defense.Baseline, cfg, nil, 20),
 		Classes:      classes,

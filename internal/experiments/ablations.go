@@ -15,6 +15,7 @@ import (
 	"github.com/maya-defense/maya/internal/runner"
 	"github.com/maya-defense/maya/internal/signal"
 	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/telemetry"
 	"github.com/maya-defense/maya/internal/trace"
 	"github.com/maya-defense/maya/internal/workload"
 )
@@ -37,7 +38,7 @@ func (m *maskDesign) Policy(seed uint64) sim.Policy {
 // fanning the (label, run) grid across the worker pool. Per-run seeds are a
 // pure function of (seed, label, run), so results are identical at any
 // worker count.
-func collectWithPolicy(cfg sim.Config, factory interface {
+func collectWithPolicy(ctx context.Context, cfg sim.Config, factory interface {
 	Policy(seed uint64) sim.Policy
 }, classes []defense.Class, sc Scale, seed uint64, maxTicks int) *trace.Dataset {
 	names := make([]string, len(classes))
@@ -46,15 +47,21 @@ func collectWithPolicy(cfg sim.Config, factory interface {
 	}
 	ds := &trace.Dataset{ClassNames: names}
 	n := len(classes) * sc.RunsPerClass
-	samples, _ := runner.MapN(context.Background(), runner.Options{}, n,
-		func(_ context.Context, i int, _ *rng.Stream) ([]float64, error) {
+	samples, _ := runner.MapN(ctx, runner.Options{}, n,
+		func(jctx context.Context, i int, _ *rng.Stream) ([]float64, error) {
 			label, run := i/sc.RunsPerClass, i%sc.RunsPerClass
 			base := seed + uint64(label)*1_000_003 + uint64(run)*7_919
 			m := sim.NewMachine(cfg, base+1)
 			w := classes[label].New()
 			w.Reset(base + 2)
 			att := &sim.Sampler{Sensor: sim.NewRAPLSensor(m), PeriodTicks: 20}
-			sim.Run(m, w, factory.Policy(base+3), sim.RunSpec{
+			pol := factory.Policy(base + 3)
+			if tr := telemetry.ActiveTrace(); tr.Enabled() {
+				if eng, ok := pol.(*core.Engine); ok {
+					eng.SetTrace(tr, telemetry.SpanFromContext(jctx))
+				}
+			}
+			sim.Run(m, w, pol, sim.RunSpec{
 				ControlPeriodTicks: 20,
 				MaxTicks:           maxTicks,
 				WarmupTicks:        sc.WarmupTicks,
@@ -81,7 +88,7 @@ type MaskAblationResult struct {
 func (r *MaskAblationResult) ID() string { return "Ablation: mask family" }
 
 // AblationMasks attacks each mask family with the window classifier.
-func AblationMasks(sc Scale, seed uint64) (*MaskAblationResult, error) {
+func AblationMasks(ctx context.Context, sc Scale, seed uint64) (*MaskAblationResult, error) {
 	cfg := sim.Sys1()
 	art, err := DesignFor(cfg)
 	if err != nil {
@@ -110,7 +117,7 @@ func AblationMasks(sc Scale, seed uint64) (*MaskAblationResult, error) {
 	spec.Train.Epochs = sc.Epochs
 	for i, f := range families {
 		md := &maskDesign{art: art, cfg: cfg, mk: f.mk}
-		ds := collectWithPolicy(cfg, md, classes, sc, seed+uint64(i+1)*65537, sc.TraceTicks)
+		ds := collectWithPolicy(ctx, cfg, md, classes, sc, seed+uint64(i+1)*65537, sc.TraceTicks)
 		ar, err := attack.Run(ds, spec)
 		if err != nil {
 			return nil, err
@@ -146,7 +153,7 @@ func (r *GuardbandAblationResult) ID() string { return "Ablation: guardband" }
 
 // AblationGuardband synthesizes controllers at several guardbands and
 // measures GS-mask tracking error on the real (simulated) machine.
-func AblationGuardband(sc Scale, seed uint64) (*GuardbandAblationResult, error) {
+func AblationGuardband(ctx context.Context, sc Scale, seed uint64) (*GuardbandAblationResult, error) {
 	cfg := sim.Sys1()
 	art, err := DesignFor(cfg)
 	if err != nil {
@@ -224,7 +231,7 @@ func (l *lockInputs) Decide(step int, powerW float64) sim.Inputs {
 }
 
 // AblationActuators measures GS tracking with actuator subsets.
-func AblationActuators(sc Scale, seed uint64) (*ActuatorAblationResult, error) {
+func AblationActuators(ctx context.Context, sc Scale, seed uint64) (*ActuatorAblationResult, error) {
 	cfg := sim.Sys1()
 	art, err := DesignFor(cfg)
 	if err != nil {
@@ -287,7 +294,7 @@ type NholdAblationResult struct {
 func (r *NholdAblationResult) ID() string { return "Ablation: Nhold" }
 
 // AblationNhold evaluates hold ranges around the paper's 6–120 choice.
-func AblationNhold(sc Scale, seed uint64) (*NholdAblationResult, error) {
+func AblationNhold(ctx context.Context, sc Scale, seed uint64) (*NholdAblationResult, error) {
 	cfg := sim.Sys1()
 	art, err := DesignFor(cfg)
 	if err != nil {
@@ -366,7 +373,7 @@ type DTWResult struct {
 func (r *DTWResult) ID() string { return "§VII-B (DTW)" }
 
 // DTWAnalysis runs 1-NN DTW classification on baseline and GS traces.
-func DTWAnalysis(sc Scale, seed uint64) (*DTWResult, error) {
+func DTWAnalysis(ctx context.Context, sc Scale, seed uint64) (*DTWResult, error) {
 	cfg := sim.Sys1()
 	art, err := DesignFor(cfg)
 	if err != nil {
@@ -377,7 +384,7 @@ func DTWAnalysis(sc Scale, seed uint64) (*DTWResult, error) {
 	runs := max(sc.RunsPerClass/5, 6)
 
 	eval := func(kind defense.Kind, off uint64) float64 {
-		ds, _ := defense.Collect(defense.CollectSpec{
+		ds, _ := defense.Collect(ctx, defense.CollectSpec{
 			Cfg:          cfg,
 			Design:       defense.NewDesign(kind, cfg, art, 20),
 			Classes:      classes,

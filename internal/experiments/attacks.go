@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -37,7 +38,7 @@ func (r *AttackResult) ID() string { return r.Artifact }
 var attackKinds = []defense.Kind{defense.RandomInputs, defense.MayaConstant, defense.MayaGS}
 
 // runAttack collects per-defense datasets and runs the classifier.
-func runAttack(artifact, goal string, cfg sim.Config, classes []defense.Class,
+func runAttack(ctx context.Context, artifact, goal string, cfg sim.Config, classes []defense.Class,
 	spec attack.Spec, sc Scale, outlet bool, attackPeriod int, paper []float64, seed uint64) (*AttackResult, error) {
 
 	d, err := DesignFor(cfg)
@@ -55,7 +56,7 @@ func runAttack(artifact, goal string, cfg sim.Config, classes []defense.Class,
 	}
 	spec.Train.Epochs = sc.Epochs
 	for i, kind := range attackKinds {
-		ds, _ := defense.Collect(defense.CollectSpec{
+		ds, _ := defense.Collect(ctx, defense.CollectSpec{
 			Cfg:               cfg,
 			Design:            defense.NewDesign(kind, cfg, d, 20),
 			Classes:           classes,
@@ -81,34 +82,34 @@ func runAttack(artifact, goal string, cfg sim.Config, classes []defense.Class,
 
 // Fig6 runs the running-application detection attack (11 PARSEC/SPLASH
 // classes on Sys1, RAPL counters).
-func Fig6(sc Scale, seed uint64) (*AttackResult, error) {
+func Fig6(ctx context.Context, sc Scale, seed uint64) (*AttackResult, error) {
 	spec := attack.DefaultSpec()
 	spec.WindowLen = sc.TraceTicks / 20 / 5 // one full-trace window
-	return runAttack("Fig 6", "detect the running application", sim.Sys1(),
+	return runAttack(ctx, "Fig 6", "detect the running application", sim.Sys1(),
 		defense.AppClasses(sc.WorkloadScale), spec, sc, false, 20,
 		[]float64{0.94, 0.62, 0.14}, seed)
 }
 
 // Fig8 runs the video-identification attack (4 encodes on Sys2).
-func Fig8(sc Scale, seed uint64) (*AttackResult, error) {
+func Fig8(ctx context.Context, sc Scale, seed uint64) (*AttackResult, error) {
 	spec := attack.DefaultSpec()
 	spec.WindowLen = sc.TraceTicks / 20 / 5
 	// Sys2's encoder runs a larger machine; scale videos up slightly so the
 	// encode spans the window.
-	return runAttack("Fig 8", "identify the video being encoded", sim.Sys2(),
+	return runAttack(ctx, "Fig 8", "identify the video being encoded", sim.Sys2(),
 		defense.VideoClasses(sc.WorkloadScale*2), spec, sc, false, 20,
 		[]float64{0.72, 0.90, 0.24}, seed)
 }
 
 // Fig9 runs the webpage-identification attack (7 pages on Sys3, AC outlet
 // tap at 50 ms, FFT features — §VI-A attack 3).
-func Fig9(sc Scale, seed uint64) (*AttackResult, error) {
+func Fig9(ctx context.Context, sc Scale, seed uint64) (*AttackResult, error) {
 	spec := attack.FFTSpec()
 	// 50 ms samples; one whole-trace window — the visit's envelope (fetch,
 	// layout, steady-state) lives in the low-frequency bins, and its level
 	// in the mean feature.
 	spec.WindowLen = sc.TraceTicks / 50
-	return runAttack("Fig 9", "identify the webpage visited", sim.Sys3(),
+	return runAttack(ctx, "Fig 9", "identify the webpage visited", sim.Sys3(),
 		defense.PageClasses(sc.WorkloadScale*8), spec, sc, true, 50,
 		[]float64{0.51, 0.40, 0.10}, seed)
 }
@@ -152,7 +153,7 @@ func (r *Fig12Result) ID() string { return "Fig 12" }
 
 // Fig12 repeats the application-detection attack on Maya GS with attacker
 // sampling intervals of 2, 5, 10, and 20 ms.
-func Fig12(sc Scale, seed uint64) (*Fig12Result, error) {
+func Fig12(ctx context.Context, sc Scale, seed uint64) (*Fig12Result, error) {
 	cfg := sim.Sys1()
 	d, err := DesignFor(cfg)
 	if err != nil {
@@ -161,7 +162,7 @@ func Fig12(sc Scale, seed uint64) (*Fig12Result, error) {
 	classes := defense.AppClasses(sc.WorkloadScale)
 	res := &Fig12Result{Chance: 1 / float64(len(classes))}
 	for _, ms := range []int{2, 5, 10, 20} {
-		ds, _ := defense.Collect(defense.CollectSpec{
+		ds, _ := defense.Collect(ctx, defense.CollectSpec{
 			Cfg:               cfg,
 			Design:            defense.NewDesign(defense.MayaGS, cfg, d, 20),
 			Classes:           classes,

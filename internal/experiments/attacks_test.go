@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -47,7 +48,7 @@ func TestFig6AppDetection(t *testing.T) {
 	// for the Random Inputs leak to rise clearly above chance (the paper
 	// trains on 600 traces per class; accuracy grows with data volume).
 	sc.RunsPerClass = 80
-	r, err := Fig6(sc, 31)
+	r, err := Fig6(context.Background(), sc, 31)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestFig8VideoDetection(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiment")
 	}
-	r, err := Fig8(attackTiny(), 33)
+	r, err := Fig8(context.Background(), attackTiny(), 33)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestFig9WebpageDetection(t *testing.T) {
 	}
 	sc := attackTiny()
 	sc.RunsPerClass = 40
-	r, err := Fig9(sc, 35)
+	r, err := Fig9(context.Background(), sc, 35)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestFig12SamplingSweep(t *testing.T) {
 	}
 	sc := attackTiny()
 	sc.RunsPerClass = 12
-	r, err := Fig12(sc, 37)
+	r, err := Fig12(context.Background(), sc, 37)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestAblationMasks(t *testing.T) {
 		t.Skip("integration experiment")
 	}
 	sc := attackTiny()
-	r, err := AblationMasks(sc, 39)
+	r, err := AblationMasks(context.Background(), sc, 39)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestFig14Overheads(t *testing.T) {
 	}
 	sc := tiny()
 	sc.AvgRuns = 20 // → 1 run per class via AvgRuns/20
-	r, err := Fig14(sc, 41)
+	r, err := Fig14(context.Background(), sc, 41)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,11 @@ func canonScale(sc Scale) string {
 		"/avg=" + strconv.Itoa(sc.AvgRuns)
 }
 
+// CanonicalScale renders every Scale field in cache-key canonical form —
+// the string the entry digests hash and the run manifest records, so two
+// manifests with equal Scale ran equal configurations.
+func CanonicalScale(sc Scale) string { return canonScale(sc) }
+
 // CacheKey derives the entry's content address for a run configuration.
 // version comes from expcache.CodeVersion (or a CI override); everything
 // else that can change the result — experiment name, every scale

@@ -26,7 +26,7 @@ func fakeSuite(n int, executions *atomic.Int64) []SuiteEntry {
 	entries := make([]SuiteEntry, n)
 	for i := range entries {
 		name := fmt.Sprintf("exp%d", i)
-		entries[i] = SuiteEntry{Name: name, Run: func(sc Scale, seed uint64) (Result, error) {
+		entries[i] = SuiteEntry{Name: name, Run: func(_ context.Context, sc Scale, seed uint64) (Result, error) {
 			executions.Add(1)
 			return fakeResult{
 				id:   "Fake " + name,
@@ -212,7 +212,7 @@ func TestRunSuiteCachedReadOnly(t *testing.T) {
 func TestRunSuiteCachedErrorsNotCached(t *testing.T) {
 	dir := t.TempDir()
 	var calls atomic.Int64
-	entries := []SuiteEntry{{Name: "flaky", Run: func(sc Scale, seed uint64) (Result, error) {
+	entries := []SuiteEntry{{Name: "flaky", Run: func(_ context.Context, sc Scale, seed uint64) (Result, error) {
 		if calls.Add(1) == 1 {
 			return nil, fmt.Errorf("transient failure")
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -84,7 +85,7 @@ func TestFig11ChangePoints(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiment")
 	}
-	r, err := Fig11(tiny(), 5)
+	r, err := Fig11(context.Background(), tiny(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestFig13Tracking(t *testing.T) {
 		t.Skip("integration experiment")
 	}
 	sc := tiny()
-	r, err := Fig13(sc, 7)
+	r, err := Fig13(context.Background(), sc, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestFig15Platypus(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiment")
 	}
-	r, err := Fig15(tiny(), 9)
+	r, err := Fig15(context.Background(), tiny(), 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestFig15Platypus(t *testing.T) {
 }
 
 func TestTableIBudget(t *testing.T) {
-	r, err := TableI(tiny(), 11)
+	r, err := TableI(context.Background(), tiny(), 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestFig7Spread(t *testing.T) {
 	}
 	sc := tiny()
 	sc.AvgRuns = 12
-	r, err := Fig7(sc, 13)
+	r, err := Fig7(context.Background(), sc, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestFig10AveragedTraces(t *testing.T) {
 	// Averaging needs volume to flatten the GS mask residual (the paper
 	// averages 1,000 runs); 48 is enough for the ordering to be stable.
 	sc.AvgRuns = 48
-	r, err := Fig10(sc, 15)
+	r, err := Fig10(context.Background(), sc, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestAblationGuardbandMonotone(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiment")
 	}
-	r, err := AblationGuardband(tiny(), 17)
+	r, err := AblationGuardband(context.Background(), tiny(), 17)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestAblationActuators(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiment")
 	}
-	r, err := AblationActuators(tiny(), 19)
+	r, err := AblationActuators(context.Background(), tiny(), 19)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestDTWAnalysis(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiment")
 	}
-	r, err := DTWAnalysis(tiny(), 21)
+	r, err := DTWAnalysis(context.Background(), tiny(), 21)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestAblationNhold(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiment")
 	}
-	r, err := AblationNhold(tiny(), 23)
+	r, err := AblationNhold(context.Background(), tiny(), 23)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -56,7 +57,7 @@ func TestToolbox(t *testing.T) {
 	sc := attackTiny()
 	sc.RunsPerClass = 60
 	sc.Epochs = 40
-	r, err := Toolbox(sc, 51)
+	r, err := Toolbox(context.Background(), sc, 51)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -47,7 +48,7 @@ var fig14Kinds = []defense.Kind{defense.NoisyBaseline, defense.RandomInputs, def
 
 // Fig14 measures power and execution time of all applications under every
 // defense on Sys1, normalized to Baseline, running each app to completion.
-func Fig14(sc Scale, seed uint64) (*Fig14Result, error) {
+func Fig14(ctx context.Context, sc Scale, seed uint64) (*Fig14Result, error) {
 	cfg := sim.Sys1()
 	art, err := DesignFor(cfg)
 	if err != nil {
@@ -60,7 +61,7 @@ func Fig14(sc Scale, seed uint64) (*Fig14Result, error) {
 	runs := max(sc.AvgRuns/20, 2)
 
 	measure := func(kind defense.Kind) []defense.RunStats {
-		_, stats := defense.Collect(defense.CollectSpec{
+		_, stats := defense.Collect(ctx, defense.CollectSpec{
 			Cfg:          cfg,
 			Design:       defense.NewDesign(kind, cfg, art, 20),
 			Classes:      classes,
@@ -148,7 +149,7 @@ type TableIResult struct {
 func (r *TableIResult) ID() string { return "Table I / §VII-E" }
 
 // TableI measures the controller and mask-generator step costs on the host.
-func TableI(sc Scale, seed uint64) (*TableIResult, error) {
+func TableI(ctx context.Context, sc Scale, seed uint64) (*TableIResult, error) {
 	cfg := sim.Sys1()
 	art, err := DesignFor(cfg)
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -29,7 +30,7 @@ func (r *Fig15Result) ID() string { return "Fig 15" }
 
 // Fig15 runs the instruction loops under Baseline and Maya GS, averaging
 // many runs as the paper does (200 repetitions).
-func Fig15(sc Scale, seed uint64) (*Fig15Result, error) {
+func Fig15(ctx context.Context, sc Scale, seed uint64) (*Fig15Result, error) {
 	cfg := sim.Sys1()
 	art, err := DesignFor(cfg)
 	if err != nil {
@@ -42,7 +43,7 @@ func Fig15(sc Scale, seed uint64) (*Fig15Result, error) {
 	}
 
 	measure := func(kind defense.Kind, seedOff uint64) ([]float64, float64) {
-		ds, _ := defense.Collect(defense.CollectSpec{
+		ds, _ := defense.Collect(ctx, defense.CollectSpec{
 			Cfg:          cfg,
 			Design:       defense.NewDesign(kind, cfg, art, 20),
 			Classes:      classes,

@@ -17,12 +17,12 @@ import (
 )
 
 // collectForStats captures RunsPerClass traces per app under one defense.
-func collectForStats(cfg sim.Config, kind defense.Kind, classes []defense.Class, sc Scale, seed uint64) (*trace.Dataset, error) {
+func collectForStats(ctx context.Context, cfg sim.Config, kind defense.Kind, classes []defense.Class, sc Scale, seed uint64) (*trace.Dataset, error) {
 	d, err := DesignFor(cfg)
 	if err != nil {
 		return nil, err
 	}
-	ds, _ := defense.Collect(defense.CollectSpec{
+	ds, _ := defense.Collect(ctx, defense.CollectSpec{
 		Cfg:          cfg,
 		Design:       defense.NewDesign(kind, cfg, d, 20),
 		Classes:      classes,
@@ -69,7 +69,7 @@ func (r *Fig7Result) ID() string { return "Fig 7" }
 var fig7Kinds = []defense.Kind{defense.NoisyBaseline, defense.RandomInputs, defense.MayaConstant, defense.MayaGS}
 
 // Fig7 computes the averaged-signal statistics for the app classes on Sys1.
-func Fig7(sc Scale, seed uint64) (*Fig7Result, error) {
+func Fig7(ctx context.Context, sc Scale, seed uint64) (*Fig7Result, error) {
 	cfg := sim.Sys1()
 	classes := defense.AppClasses(sc.WorkloadScale)
 	res := &Fig7Result{}
@@ -77,7 +77,7 @@ func Fig7(sc Scale, seed uint64) (*Fig7Result, error) {
 		res.Classes = append(res.Classes, c.Name)
 	}
 	for i, kind := range fig7Kinds {
-		ds, err := collectForStats(cfg, kind, classes, sc, seed+uint64(i+1)*97)
+		ds, err := collectForStats(ctx, cfg, kind, classes, sc, seed+uint64(i+1)*97)
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +138,7 @@ type Fig10Result struct {
 func (r *Fig10Result) ID() string { return "Fig 10" }
 
 // Fig10 computes averaged traces for three apps under the Fig 7 defenses.
-func Fig10(sc Scale, seed uint64) (*Fig10Result, error) {
+func Fig10(ctx context.Context, sc Scale, seed uint64) (*Fig10Result, error) {
 	cfg := sim.Sys1()
 	apps := []string{"blackscholes", "bodytrack", "water_nsquared"}
 	var classes []defense.Class
@@ -150,7 +150,7 @@ func Fig10(sc Scale, seed uint64) (*Fig10Result, error) {
 	}
 	res := &Fig10Result{Apps: apps}
 	for i, kind := range fig7Kinds {
-		ds, err := collectForStats(cfg, kind, classes, sc, seed+uint64(i+11)*31)
+		ds, err := collectForStats(ctx, cfg, kind, classes, sc, seed+uint64(i+11)*31)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +231,7 @@ var fig11Kinds = []defense.Kind{defense.NoisyBaseline, defense.RandomInputs, def
 
 // Fig11 runs blackscholes under each design and applies change-point
 // detection to the defended power trace.
-func Fig11(sc Scale, seed uint64) (*Fig11Result, error) {
+func Fig11(ctx context.Context, sc Scale, seed uint64) (*Fig11Result, error) {
 	cfg := sim.Sys1()
 	d, err := DesignFor(cfg)
 	if err != nil {
@@ -345,7 +345,7 @@ func (r *Fig13Result) ID() string { return "Fig 13" }
 
 // Fig13 runs Maya GS over the app classes, recording both the generated
 // targets and the measured power.
-func Fig13(sc Scale, seed uint64) (*Fig13Result, error) {
+func Fig13(ctx context.Context, sc Scale, seed uint64) (*Fig13Result, error) {
 	cfg := sim.Sys1()
 	art, err := DesignFor(cfg)
 	if err != nil {
@@ -360,7 +360,7 @@ func Fig13(sc Scale, seed uint64) (*Fig13Result, error) {
 		target, measured signal.BoxStats
 		mad              float64
 	}
-	perClass, err := runner.MapN(context.Background(), runner.Options{}, len(classes),
+	perClass, err := runner.MapN(ctx, runner.Options{}, len(classes),
 		func(_ context.Context, ci int, _ *rng.Stream) (classStats, error) {
 			cl := classes[ci]
 			var tgts, meas []float64

@@ -18,8 +18,12 @@ import (
 type SuiteEntry struct {
 	// Name selects the entry from the CLI (-run regexp).
 	Name string
-	// Run executes the experiment at the given scale and base seed.
-	Run func(sc Scale, seed uint64) (Result, error)
+	// Run executes the experiment at the given scale and base seed. ctx is
+	// the suite job's context: cancellation and the per-entry timeout
+	// propagate through it into the entry's nested collection sweeps, and
+	// it carries the entry's span identity when tracing is active. Results
+	// are a function of (sc, seed) only.
+	Run func(ctx context.Context, sc Scale, seed uint64) (Result, error)
 }
 
 // Suite returns every experiment of the paper's evaluation in report order:
@@ -27,38 +31,42 @@ type SuiteEntry struct {
 // shared by cmd/experiments, the benchmarks, and the determinism tests.
 func Suite() []SuiteEntry {
 	return []SuiteEntry{
-		{"fig3", func(sc Scale, seed uint64) (Result, error) {
+		{"fig3", func(ctx context.Context, sc Scale, seed uint64) (Result, error) {
 			return Fig3(sim.Sys1(), sc, seed)
 		}},
-		{"fig4", func(sc Scale, seed uint64) (Result, error) {
+		{"fig4", func(ctx context.Context, sc Scale, seed uint64) (Result, error) {
 			d, err := DesignFor(sim.Sys1())
 			if err != nil {
 				return nil, err
 			}
 			return Fig4(d.Band, 50, 6000, seed), nil
 		}},
-		{"table1", func(sc Scale, seed uint64) (Result, error) {
-			return TableI(sc, seed)
+		{"table1", func(ctx context.Context, sc Scale, seed uint64) (Result, error) {
+			return TableI(ctx, sc, seed)
 		}},
-		{"fig6", func(sc Scale, seed uint64) (Result, error) { return Fig6(sc, seed) }},
-		{"fig7", func(sc Scale, seed uint64) (Result, error) { return Fig7(sc, seed) }},
-		{"fig8", func(sc Scale, seed uint64) (Result, error) { return Fig8(sc, seed) }},
-		{"fig9", func(sc Scale, seed uint64) (Result, error) { return Fig9(sc, seed) }},
-		{"fig10", func(sc Scale, seed uint64) (Result, error) { return Fig10(sc, seed) }},
-		{"fig11", func(sc Scale, seed uint64) (Result, error) { return Fig11(sc, seed) }},
-		{"fig12", func(sc Scale, seed uint64) (Result, error) { return Fig12(sc, seed) }},
-		{"fig13", func(sc Scale, seed uint64) (Result, error) { return Fig13(sc, seed) }},
-		{"fig14", func(sc Scale, seed uint64) (Result, error) { return Fig14(sc, seed) }},
-		{"fig15", func(sc Scale, seed uint64) (Result, error) { return Fig15(sc, seed) }},
-		{"dtw", func(sc Scale, seed uint64) (Result, error) { return DTWAnalysis(sc, seed) }},
-		{"covert", func(sc Scale, seed uint64) (Result, error) { return CovertChannel(sc, seed) }},
-		{"thermal", func(sc Scale, seed uint64) (Result, error) { return Thermal(sc, seed) }},
-		{"toolbox", func(sc Scale, seed uint64) (Result, error) { return Toolbox(sc, seed) }},
-		{"faults", func(sc Scale, seed uint64) (Result, error) { return FaultSweep(sc, seed) }},
-		{"ablation-masks", func(sc Scale, seed uint64) (Result, error) { return AblationMasks(sc, seed) }},
-		{"ablation-guardband", func(sc Scale, seed uint64) (Result, error) { return AblationGuardband(sc, seed) }},
-		{"ablation-nhold", func(sc Scale, seed uint64) (Result, error) { return AblationNhold(sc, seed) }},
-		{"ablation-actuators", func(sc Scale, seed uint64) (Result, error) { return AblationActuators(sc, seed) }},
+		{"fig6", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return Fig6(ctx, sc, seed) }},
+		{"fig7", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return Fig7(ctx, sc, seed) }},
+		{"fig8", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return Fig8(ctx, sc, seed) }},
+		{"fig9", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return Fig9(ctx, sc, seed) }},
+		{"fig10", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return Fig10(ctx, sc, seed) }},
+		{"fig11", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return Fig11(ctx, sc, seed) }},
+		{"fig12", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return Fig12(ctx, sc, seed) }},
+		{"fig13", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return Fig13(ctx, sc, seed) }},
+		{"fig14", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return Fig14(ctx, sc, seed) }},
+		{"fig15", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return Fig15(ctx, sc, seed) }},
+		{"dtw", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return DTWAnalysis(ctx, sc, seed) }},
+		{"covert", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return CovertChannel(sc, seed) }},
+		{"thermal", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return Thermal(sc, seed) }},
+		{"toolbox", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return Toolbox(ctx, sc, seed) }},
+		{"faults", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return FaultSweep(sc, seed) }},
+		{"ablation-masks", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return AblationMasks(ctx, sc, seed) }},
+		{"ablation-guardband", func(ctx context.Context, sc Scale, seed uint64) (Result, error) {
+			return AblationGuardband(ctx, sc, seed)
+		}},
+		{"ablation-nhold", func(ctx context.Context, sc Scale, seed uint64) (Result, error) { return AblationNhold(ctx, sc, seed) }},
+		{"ablation-actuators", func(ctx context.Context, sc Scale, seed uint64) (Result, error) {
+			return AblationActuators(ctx, sc, seed)
+		}},
 	}
 }
 
@@ -107,9 +115,11 @@ func RunSuite(ctx context.Context, entries []SuiteEntry, sc Scale, seed uint64, 
 			Name: e.Name,
 			// The runner-provided stream is deliberately unused: entries
 			// derive their randomness from the base seed so that serial and
-			// parallel sweeps are bit-for-bit identical.
+			// parallel sweeps are bit-for-bit identical. The job's ctx IS
+			// used: it carries cancellation, the per-entry timeout, and the
+			// job's span identity into the entry's nested sweeps.
 			Run: func(ctx context.Context, _ *rng.Stream) (Result, error) {
-				return e.Run(sc, seed)
+				return e.Run(ctx, sc, seed)
 			},
 		}
 	}

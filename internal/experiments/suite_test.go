@@ -105,6 +105,44 @@ func TestReportIdenticalWithTelemetryAttached(t *testing.T) {
 	}
 }
 
+// TestReportIdenticalWithTracingEnabled is this PR's acceptance bar: the
+// structured tracer observes the sweep — runner job spans and per-tick engine
+// phase spans — without changing a single byte of the rendered report.
+func TestReportIdenticalWithTracingEnabled(t *testing.T) {
+	sc := tiny()
+	// fig7 reaches defense.Collect, so the ambient tracer is picked up all
+	// the way down to the engine's per-tick phase spans.
+	entries := FilterSuite(Suite(), regexp.MustCompile(`^(fig3|fig7)$`))
+	render := func() []byte {
+		outs := RunSuite(context.Background(), entries, sc, 7, runner.Options{Workers: 4})
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, sc, 7, outs, false); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	plain := render()
+	tr := telemetry.NewTracer(1 << 14)
+	telemetry.SetActiveTrace(tr)
+	t.Cleanup(func() { telemetry.SetActiveTrace(nil) })
+	traced := render()
+	telemetry.SetActiveTrace(nil)
+	if !bytes.Equal(plain, traced) {
+		t.Fatalf("report differs with tracing enabled:\n--- plain ---\n%s\n--- traced ---\n%s", plain, traced)
+	}
+	// The tracer did observe the sweep: runner job lifecycle spans and the
+	// engine's per-tick phases must both be present.
+	names := map[string]bool{}
+	for _, ev := range tr.Snapshot() {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"job.queue_wait", "job.run", "tick.mask", "tick.sensor", "tick.control", "tick.actuate"} {
+		if !names[want] {
+			t.Fatalf("trace missing span %q (got %v)", want, names)
+		}
+	}
+}
+
 func TestWriteReportOptsTelemetrySection(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	reg.Counter("demo_total", "demo").Add(5)

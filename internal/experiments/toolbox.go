@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -29,7 +30,7 @@ func (r *ToolboxResult) ID() string { return "Attacker toolbox (§III)" }
 
 // Toolbox runs MLP, template, kNN, and spectrogram attackers on shared
 // Sys1 datasets (5 diverse app classes).
-func Toolbox(sc Scale, seed uint64) (*ToolboxResult, error) {
+func Toolbox(ctx context.Context, sc Scale, seed uint64) (*ToolboxResult, error) {
 	cfg := sim.Sys1()
 	art, err := DesignFor(cfg)
 	if err != nil {
@@ -39,7 +40,7 @@ func Toolbox(sc Scale, seed uint64) (*ToolboxResult, error) {
 	classes := []defense.Class{all[0], all[2], all[5], all[6], all[9]}
 
 	collect := func(kind defense.Kind, off uint64) *trace.Dataset {
-		ds, _ := defense.Collect(defense.CollectSpec{
+		ds, _ := defense.Collect(ctx, defense.CollectSpec{
 			Cfg:          cfg,
 			Design:       defense.NewDesign(kind, cfg, art, 20),
 			Classes:      classes,

@@ -1,0 +1,39 @@
+package detwallclock
+
+import "time"
+
+// tracer mirrors the telemetry tracing hot path: span timestamps must come
+// from the tracer's blessed epoch-relative clock, never an ad-hoc
+// wall-clock read sprinkled into a record call.
+type tracer struct {
+	epoch time.Time
+}
+
+// clockUnblessed is the mistake the linter must keep out of the hot path:
+// a raw monotonic read without the //maya:wallclock audit trail.
+func (t *tracer) clockUnblessed() int64 {
+	return time.Since(t.epoch).Nanoseconds() // want "wall-clock read time.Since outside a //maya:wallclock site"
+}
+
+// clock is the blessed form: one audited read, everything else derives
+// span timestamps from it.
+//
+//maya:wallclock span timestamps are monotonic offsets from the tracer epoch
+func (t *tracer) clock() int64 {
+	return time.Since(t.epoch).Nanoseconds()
+}
+
+// recordUnblessed stamps a span with its own time.Now — the exact
+// per-event wall-clock read the tracing layer centralizes away.
+func (t *tracer) recordUnblessed(name string) int64 {
+	start := time.Now() // want "wall-clock read time.Now outside a //maya:wallclock site"
+	_ = name
+	return start.UnixNano()
+}
+
+// record is the hot-path shape that needs no blessing at all: timestamps
+// arrive as arguments, already derived from the blessed clock.
+func (t *tracer) record(name string, startNS, durNS int64) int64 {
+	_ = name
+	return startNS + durNS
+}

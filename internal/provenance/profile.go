@@ -1,0 +1,89 @@
+package provenance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+)
+
+// Profiles is an in-flight profile capture. Start it before the measured
+// work and Stop it after; Stop reports the files it wrote so the caller can
+// record them in the manifest.
+type Profiles struct {
+	dir  string
+	cpu  *os.File
+	heap bool
+}
+
+// profileKinds are the capture selectors StartProfiles accepts.
+const profileKinds = "cpu, heap"
+
+// StartProfiles begins capturing the requested profiles into dir. kinds is
+// a comma-separated subset of {cpu, heap}; "cpu" starts the CPU profiler
+// immediately, "heap" defers a heap snapshot to Stop. An empty kinds
+// returns a no-op capture, so callers need no guards.
+func StartProfiles(dir, kinds string) (*Profiles, error) {
+	p := &Profiles{dir: dir}
+	if strings.TrimSpace(kinds) == "" {
+		return p, nil
+	}
+	for _, kind := range strings.Split(kinds, ",") {
+		switch strings.TrimSpace(kind) {
+		case "cpu":
+			f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+			if err != nil {
+				return nil, fmt.Errorf("provenance: %w", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("provenance: cpu profile: %w", err)
+			}
+			p.cpu = f
+		case "heap":
+			p.heap = true
+		case "":
+		default:
+			return nil, fmt.Errorf("provenance: unknown profile kind %q (have %s)", kind, profileKinds)
+		}
+	}
+	return p, nil
+}
+
+// Stop finalizes the capture: it stops the CPU profiler and snapshots the
+// heap, both into the directory given to StartProfiles. It returns the
+// file names written (relative to that directory), sorted.
+func (p *Profiles) Stop() ([]string, error) {
+	var files []string
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			return files, fmt.Errorf("provenance: close cpu profile: %w", err)
+		}
+		p.cpu = nil
+		files = append(files, "cpu.pprof")
+	}
+	if p.heap {
+		p.heap = false
+		f, err := os.Create(filepath.Join(p.dir, "heap.pprof"))
+		if err != nil {
+			return files, fmt.Errorf("provenance: %w", err)
+		}
+		// An up-to-date GC cycle makes the snapshot reflect live objects,
+		// not whatever garbage the run happened to leave behind.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return files, fmt.Errorf("provenance: heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return files, fmt.Errorf("provenance: close heap profile: %w", err)
+		}
+		files = append(files, "heap.pprof")
+	}
+	sort.Strings(files)
+	return files, nil
+}

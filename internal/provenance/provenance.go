@@ -1,0 +1,179 @@
+// Package provenance assembles run-provenance manifests: a machine-readable
+// record of exactly which code, configuration, seeds, and cache state
+// produced a report, plus where the run spent its time and which profiles
+// were captured alongside it.
+//
+// A manifest is deliberately NOT deterministic — it records wall-clock
+// attribution and host identity, the two things the report body must never
+// contain. The report answers "what did the experiments conclude"; the
+// manifest answers "where did this report come from and what did producing
+// it cost". The two are written to separate files so the byte-identity
+// gates on the report stay intact.
+//
+// The manifest's identity fields reuse the experiment cache's content
+// addressing: CodeVersion is expcache.CodeVersion, and each entry carries
+// the hex content address that keyed (or would key) its cached section, so
+// a manifest pins its report to cache entries exactly.
+package provenance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"github.com/maya-defense/maya/internal/expcache"
+	"github.com/maya-defense/maya/internal/telemetry"
+)
+
+// SchemaVersion identifies the manifest layout. Bump on any breaking field
+// change so downstream tooling can reject manifests it does not understand.
+const SchemaVersion = 1
+
+// Manifest is the run-provenance record emitted next to a report.
+type Manifest struct {
+	// Schema is SchemaVersion at write time.
+	Schema int `json:"schema"`
+	// CodeVersion identifies the producing code (expcache.CodeVersion:
+	// VCS revision + dirty flag, or the CI override).
+	CodeVersion string `json:"code_version"`
+	// GoVersion/GOOS/GOARCH pin the toolchain and host class.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	// Scale is the canonical rendering of every scale parameter — the same
+	// string the cache keys hash, so two manifests with equal Scale ran
+	// equal configurations.
+	Scale string `json:"scale"`
+	// Seed is the base random seed of the sweep.
+	Seed uint64 `json:"seed"`
+	// Workers is the requested worker count (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+
+	// Entries records each experiment of the run in suite order.
+	Entries []Entry `json:"entries"`
+	// Cache summarizes the experiment cache's participation, when one was
+	// open.
+	Cache *CacheRecord `json:"cache,omitempty"`
+	// Phases is the per-phase timing rollup aggregated from the run's
+	// trace (empty when tracing was off).
+	Phases []telemetry.PhaseStat `json:"phases,omitempty"`
+	// Trace describes the exported trace file, when tracing was on.
+	Trace *TraceRecord `json:"trace,omitempty"`
+	// Profiles lists the pprof files captured into the artifact dir.
+	Profiles []string `json:"profiles,omitempty"`
+}
+
+// Entry is one experiment's provenance row.
+type Entry struct {
+	// Name is the suite entry name ("fig6", "ablation-masks").
+	Name string `json:"name"`
+	// Digest is the expcache content address of the entry's report section
+	// for this (code, scale, seed) — the key a cache hit replayed or a
+	// cache write stored.
+	Digest string `json:"digest"`
+	// Cached marks sections replayed from the cache instead of computed.
+	Cached bool `json:"cached,omitempty"`
+	// TimedOut / Error record failures verbatim.
+	TimedOut bool   `json:"timed_out,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// WallMS and AllocBytes are the runner's accounting (zero for cached
+	// replays).
+	WallMS     int64  `json:"wall_ms"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+}
+
+// CacheRecord summarizes the experiment cache's participation in the run.
+type CacheRecord struct {
+	// Mode is the cache mode string ("off", "rw", "ro").
+	Mode string `json:"mode"`
+	// Hits/Misses/Corrupt/Writes are the run's counter totals.
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Corrupt uint64 `json:"corrupt"`
+	Writes  uint64 `json:"writes"`
+}
+
+// TraceRecord describes the trace export the manifest's Phases rollup was
+// computed from.
+type TraceRecord struct {
+	// File is the trace file name (relative to the manifest's directory).
+	File string `json:"file"`
+	// Events and Dropped are the ring's retained/overwritten counts.
+	Events  int    `json:"events"`
+	Dropped uint64 `json:"dropped"`
+	// TickSample is the per-tick sampling stride (1 = every tick).
+	TickSample int `json:"tick_sample,omitempty"`
+}
+
+// New returns a manifest stamped with the schema, code version, and
+// toolchain identity. Callers fill the run fields and call WriteFile.
+func New(codeVersion string) *Manifest {
+	return &Manifest{
+		Schema:      SchemaVersion,
+		CodeVersion: codeVersion,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+}
+
+// SetCache records the cache's mode and counter totals.
+func (m *Manifest) SetCache(mode string, st expcache.Stats) {
+	m.Cache = &CacheRecord{
+		Mode: mode, Hits: st.Hits, Misses: st.Misses,
+		Corrupt: st.Corrupt, Writes: st.Writes,
+	}
+}
+
+// SetTrace records the trace export and aggregates its per-phase rollup.
+func (m *Manifest) SetTrace(file string, events []telemetry.TraceEvent, dropped uint64, tickSample int) {
+	m.Trace = &TraceRecord{File: file, Events: len(events), Dropped: dropped, TickSample: tickSample}
+	m.Phases = telemetry.Summarize(events)
+}
+
+// Write renders the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path (0644, truncating).
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("provenance: %w", err)
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("provenance: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("provenance: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile parses a manifest written by WriteFile. Unknown fields are
+// rejected: a manifest is our own format, so unknown fields mean a schema
+// skew the caller must see.
+func ReadFile(path string) (*Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("provenance: %w", err)
+	}
+	var m Manifest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("provenance: parse %s: %w", path, err)
+	}
+	if m.Schema > SchemaVersion {
+		return nil, fmt.Errorf("provenance: %s has schema %d, newer than supported %d", path, m.Schema, SchemaVersion)
+	}
+	return &m, nil
+}

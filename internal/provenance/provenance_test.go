@@ -1,0 +1,127 @@
+package provenance
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/expcache"
+	"github.com/maya-defense/maya/internal/telemetry"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := New("v-test")
+	m.Scale = "tiny/runs=2"
+	m.Seed = 7
+	m.Workers = 4
+	m.Entries = []Entry{
+		{Name: "fig3", Digest: "abc123", WallMS: 12, AllocBytes: 4096},
+		{Name: "fig6", Digest: "def456", Cached: true},
+		{Name: "fig7", Digest: "0789ab", Error: "context deadline exceeded", TimedOut: true},
+	}
+	m.SetCache("rw", expcache.Stats{Hits: 2, Misses: 1, Writes: 1})
+	events := []telemetry.TraceEvent{
+		{Name: "tick.mask", StartNS: 0, DurNS: 100},
+		{Name: "tick.mask", StartNS: 200, DurNS: 300},
+		{Name: "job.run", StartNS: 0, DurNS: 1000},
+	}
+	m.SetTrace("trace.json", events, 5, 10)
+	m.Profiles = []string{"cpu.pprof"}
+
+	path := filepath.Join(dir, "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || got.CodeVersion != "v-test" {
+		t.Fatalf("identity fields wrong: %+v", got)
+	}
+	if got.GoVersion != runtime.Version() || got.GOOS != runtime.GOOS || got.GOARCH != runtime.GOARCH {
+		t.Fatalf("toolchain fields wrong: %+v", got)
+	}
+	if len(got.Entries) != 3 || got.Entries[1].Cached != true || got.Entries[2].Error == "" {
+		t.Fatalf("entries wrong: %+v", got.Entries)
+	}
+	if got.Cache == nil || got.Cache.Hits != 2 || got.Cache.Mode != "rw" {
+		t.Fatalf("cache record wrong: %+v", got.Cache)
+	}
+	if got.Trace == nil || got.Trace.Events != 3 || got.Trace.Dropped != 5 || got.Trace.TickSample != 10 {
+		t.Fatalf("trace record wrong: %+v", got.Trace)
+	}
+	// Phases aggregate by span name, total-descending.
+	if len(got.Phases) != 2 || got.Phases[0].Name != "job.run" || got.Phases[1].Count != 2 {
+		t.Fatalf("phase rollup wrong: %+v", got.Phases)
+	}
+}
+
+func TestManifestRejectsUnknownFieldsAndNewerSchema(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":1,"bogus":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown field not rejected: %v", err)
+	}
+	newer := filepath.Join(dir, "newer.json")
+	if err := os.WriteFile(newer, []byte(`{"schema":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(newer); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("newer schema not rejected: %v", err)
+	}
+}
+
+func TestProfilesCapture(t *testing.T) {
+	dir := t.TempDir()
+	p, err := StartProfiles(dir, "cpu, heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the CPU profile has something to sample.
+	sink := 0
+	for i := 0; i < 1_000_00; i++ {
+		sink += i * i
+	}
+	_ = sink
+	files, err := p.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 || files[0] != "cpu.pprof" || files[1] != "heap.pprof" {
+		t.Fatalf("files = %v, want [cpu.pprof heap.pprof]", files)
+	}
+	for _, f := range files {
+		st, err := os.Stat(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+	// Stop is idempotent: a second call writes nothing.
+	files, err = p.Stop()
+	if err != nil || len(files) != 0 {
+		t.Fatalf("second Stop = (%v, %v), want (empty, nil)", files, err)
+	}
+}
+
+func TestProfilesNoopAndErrors(t *testing.T) {
+	p, err := StartProfiles(t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files, err := p.Stop(); err != nil || len(files) != 0 {
+		t.Fatalf("no-op capture = (%v, %v)", files, err)
+	}
+	if _, err := StartProfiles(t.TempDir(), "cpu,flamegraph"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -50,6 +50,12 @@ type Options struct {
 	// Metrics, when non-nil, instruments the pool (see NewMetrics).
 	// Instrumentation never changes scheduling or results.
 	Metrics *Metrics
+	// TraceParent explicitly parents this pool's job spans when the
+	// process-wide tracer (telemetry.ActiveTrace) is installed. When zero,
+	// the parent is taken from the span carried by the context passed to
+	// Run, so nested pools chain automatically. Tracing, like Metrics,
+	// never changes scheduling or results.
+	TraceParent telemetry.SpanContext
 }
 
 // Metrics instruments a pool: job lifecycle counters, queue-wait and
@@ -149,6 +155,15 @@ func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) []Result[T] {
 		workers = len(jobs)
 	}
 
+	// Each job becomes two trace spans under pt.parent: "job.queue_wait"
+	// (pool start → worker pickup) and "job.run" (execution), both keyed by
+	// the submission index so span identities are deterministic.
+	pt := poolTrace{tr: telemetry.ActiveTrace(), parent: opts.TraceParent}
+	if pt.parent == (telemetry.SpanContext{}) {
+		pt.parent = telemetry.SpanFromContext(ctx)
+	}
+	pt.startNS = pt.tr.Clock()
+
 	poolStart := time.Now() //maya:wallclock queue-wait metrics baseline; never feeds results
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -157,7 +172,7 @@ func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) []Result[T] {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				runJob(ctx, opts, poolStart, i, jobs[i], &results[i])
+				runJob(ctx, opts, poolStart, pt, i, jobs[i], &results[i])
 			}
 		}()
 	}
@@ -194,9 +209,16 @@ type jobOutcome[T any] struct {
 	wall  time.Duration
 }
 
+// poolTrace carries one Run invocation's tracing state to its workers.
+type poolTrace struct {
+	tr      *telemetry.Tracer
+	parent  telemetry.SpanContext
+	startNS int64
+}
+
 // runJob executes one job with panic capture and the per-job timeout,
 // writing into *out (each index is owned by exactly one worker).
-func runJob[T any](ctx context.Context, opts Options, poolStart time.Time, i int, job Job[T], out *Result[T]) {
+func runJob[T any](ctx context.Context, opts Options, poolStart time.Time, pt poolTrace, i int, job Job[T], out *Result[T]) {
 	if m := opts.Metrics; m != nil {
 		m.JobsStarted.Inc()
 		m.InFlight.Add(1)
@@ -222,6 +244,18 @@ func runJob[T any](ctx context.Context, opts Options, poolStart time.Time, i int
 		var cancel context.CancelFunc
 		jctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
+	}
+	if pt.tr.Enabled() {
+		pickupNS := pt.tr.Clock()
+		pt.tr.Complete("job.queue_wait", "runner", pt.parent, uint64(i), pt.startNS, pickupNS-pt.startNS, int64(i))
+		sp := pt.tr.Start("job.run", "runner", pt.parent, uint64(i))
+		sp.Label = job.Name
+		sp.Arg = int64(i)
+		// The job's own span identity rides the context so nested pools and
+		// engines parent under this job. A timed-out job's span ends at
+		// abandonment, not at the straggler's eventual exit.
+		jctx = telemetry.ContextWithSpan(jctx, sp.Context())
+		defer sp.End()
 	}
 	// The job runs in its own goroutine so a timeout can abandon it; the
 	// buffered channel lets an abandoned job finish and be collected. The

@@ -1,8 +1,10 @@
 // Package telemetry is the measurement layer of the defense stack: a
 // low-overhead metrics registry (counters, gauges, fixed-bucket histograms
-// with Prometheus-style text exposition and JSONL export), a per-tick
-// flight recorder for the control loop, and span-style timing for the
-// experiment pipeline.
+// with Prometheus-style text exposition and JSONL export, plus constant
+// info gauges for build identity), a per-tick flight recorder for the
+// control loop, span-style timing into histograms, and the hierarchical
+// structured tracer ([Tracer]) that attributes a whole pipeline run —
+// suite, runner jobs, engine ticks — span by span.
 //
 // The package serves two masters with different constraints:
 //
@@ -10,13 +12,24 @@
 //     wall-clock during sweeps), so recording on the hot path must be
 //     allocation-free and cheap. All instruments are fixed-size structures
 //     updated with atomic operations; callers resolve them once at setup
-//     and hold direct pointers.
+//     and hold direct pointers. The tracer extends the same discipline:
+//     every method no-ops on a nil receiver with zero allocation, so
+//     instrumentation points run unconditionally whether tracing is on or
+//     off (CI gates this with the TelemetryHotPath zero-alloc benchmarks).
 //   - Experiment reports must stay byte-identical for a fixed seed.
 //     Instruments therefore never feed back into the simulation, and
 //     everything recorded by the flight recorder is simulated-domain data
 //     (no wall-clock timestamps), so flight traces are deterministic too.
-//     Only the opt-in timing/telemetry report sections carry wall-clock
-//     values.
+//     Trace spans do carry wall-clock durations — attribution is their
+//     whole point — but their IDs derive from job/tenant identity, never
+//     from the clock, and nothing they observe reaches a decision. Only
+//     the opt-in timing/telemetry report sections and trace exports carry
+//     wall-clock values.
+//
+// Trace exports are Chrome trace-event JSON ([WriteChromeTrace],
+// Perfetto-loadable) or JSONL ([WriteTraceJSONL]); [ParseTraceEvents]
+// reads either back losslessly and [Summarize]/[WriteSummaryTable] fold a
+// trace into a per-phase attribution table.
 package telemetry
 
 import (

@@ -243,6 +243,60 @@ func TestWritePromGolden(t *testing.T) {
 	}
 }
 
+func TestInfoMetric(t *testing.T) {
+	reg := NewRegistry()
+	reg.Info("maya_build_info", "build identity", map[string]string{
+		"version":   `v1.2-"dirty"\x`,
+		"goarch":    "amd64",
+		"multiline": "a\nb",
+	})
+	// Idempotent; first labels win.
+	reg.Info("maya_build_info", "build identity", map[string]string{"version": "other"})
+	// Kind clash with an existing gauge is reported, not silently merged.
+	reg.Gauge("some_gauge", "")
+	if err := reg.TryInfo("some_gauge", "", nil); err == nil {
+		t.Fatal("info over gauge must be a kind mismatch")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP maya_build_info build identity` + "\n" +
+		`# TYPE maya_build_info gauge` + "\n" +
+		`maya_build_info{goarch="amd64",multiline="a\nb",version="v1.2-\"dirty\"\\x"} 1` + "\n"
+	if got := buf.String(); !strings.Contains(got, want) {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want fragment ---\n%s", got, want)
+	}
+
+	snap := reg.Snapshot()
+	var info *Metric
+	for i := range snap {
+		if snap[i].Name == "maya_build_info" {
+			info = &snap[i]
+		}
+	}
+	if info == nil {
+		t.Fatal("info metric missing from snapshot")
+	}
+	if info.Type != "info" || info.Value != 1 || info.Labels["goarch"] != "amd64" {
+		t.Fatalf("snapshot info = %+v", info)
+	}
+	if info.Labels["version"] != `v1.2-"dirty"\x` {
+		t.Fatalf("snapshot labels must be unescaped: %q", info.Labels["version"])
+	}
+
+	// Reset leaves the constant metric untouched.
+	reg.Reset()
+	var buf2 bytes.Buffer
+	if err := reg.WriteProm(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), `maya_build_info{`) {
+		t.Fatal("reset dropped the info metric")
+	}
+}
+
 func TestWriteJSONL(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("a_total", "").Add(2)

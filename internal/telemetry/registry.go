@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -16,6 +17,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindInfo
 )
 
 func (k metricKind) String() string {
@@ -26,17 +28,30 @@ func (k metricKind) String() string {
 		return "gauge"
 	case kindHistogram:
 		return "histogram"
+	case kindInfo:
+		return "info"
 	}
 	return "unknown"
 }
 
+// promType maps a kind to its Prometheus exposition TYPE. Info metrics are
+// constant-1 gauges by Prometheus convention (go_build_info, ...): the
+// payload rides in labels.
+func (k metricKind) promType() string {
+	if k == kindInfo {
+		return "gauge"
+	}
+	return k.String()
+}
+
 type entry struct {
-	name string
-	help string
-	kind metricKind
-	c    *Counter
-	g    *Gauge
-	h    *Histogram
+	name   string
+	help   string
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	labels map[string]string // kindInfo only
 }
 
 // Registry names and owns a set of instruments. Registration is idempotent:
@@ -153,6 +168,33 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return h
 }
 
+// TryInfo registers an info metric: a constant value of 1 whose payload is
+// a fixed label set (the Prometheus build-info convention — the value never
+// changes, the labels identify the build/run). The labels of the first
+// registration win, like histogram bounds. Kind mismatches are returned as
+// a *KindMismatchError; see TryCounter.
+func (r *Registry) TryInfo(name, help string, labels map[string]string) error {
+	e, err := r.lookup(name, help, kindInfo)
+	if err != nil {
+		return err
+	}
+	if e.labels == nil {
+		copied := make(map[string]string, len(labels))
+		for k, v := range labels {
+			copied[k] = v
+		}
+		e.labels = copied
+	}
+	return nil
+}
+
+// Info registers an info metric, panicking on a kind mismatch; see TryInfo.
+func (r *Registry) Info(name, help string, labels map[string]string) {
+	if err := r.TryInfo(name, help, labels); err != nil {
+		panic(err)
+	}
+}
+
 // Reset zeroes every registered instrument (snapshot-and-reset cycles
 // between experiment phases). Instruments stay registered.
 func (r *Registry) Reset() {
@@ -187,8 +229,10 @@ type Metric struct {
 	Name string `json:"name"`
 	Type string `json:"type"`
 	Help string `json:"help,omitempty"`
-	// Value holds the counter count or gauge level.
+	// Value holds the counter count, gauge level, or constant 1 for info.
 	Value float64 `json:"value,omitempty"`
+	// Labels holds an info metric's payload.
+	Labels map[string]string `json:"labels,omitempty"`
 	// Histogram-only fields.
 	Sum     float64   `json:"sum,omitempty"`
 	Count   uint64    `json:"count,omitempty"`
@@ -211,6 +255,13 @@ func (r *Registry) Snapshot() []Metric {
 			m.Count = e.h.Count()
 			m.Bounds = e.h.Bounds()
 			m.Buckets = e.h.BucketCounts()
+		case kindInfo:
+			m.Value = 1
+			labels := make(map[string]string, len(e.labels))
+			for k, v := range e.labels {
+				labels[k] = v
+			}
+			m.Labels = labels
 		}
 		out = append(out, m)
 	}
@@ -226,7 +277,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind.promType()); err != nil {
 			return err
 		}
 		switch e.kind {
@@ -254,9 +305,45 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", e.name, formatFloat(e.h.Sum()), e.name, e.h.Count()); err != nil {
 				return err
 			}
+		case kindInfo:
+			if _, err := fmt.Fprintf(w, "%s%s 1\n", e.name, formatLabels(e.labels)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// formatLabels renders a label set as {k="v",...} with keys sorted (stable
+// exposition) and values escaped per the Prometheus text format (backslash,
+// double quote, newline).
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(labels[k]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
 }
 
 // WriteJSONL renders the registry as one JSON object per line (the same

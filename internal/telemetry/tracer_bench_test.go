@@ -1,0 +1,56 @@
+package telemetry
+
+import "testing"
+
+// The TelemetryHotPathTrace* benchmarks extend the zero-alloc CI gate
+// (scripts/bench.sh -z TelemetryHotPath) to the tracer: recording on an
+// enabled tracer and every operation on a disabled (nil) tracer must
+// allocate 0 B/op, so tracing instrumentation can sit on the per-tick hot
+// path unconditionally.
+
+func BenchmarkTelemetryHotPathTraceRecord(b *testing.B) {
+	tr := NewTracer(1 << 12)
+	parent := NewRootContext("bench", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Complete("tick.control", "engine", parent, uint64(i), int64(i), 100, int64(i))
+	}
+}
+
+func BenchmarkTelemetryHotPathTraceSpan(b *testing.B) {
+	tr := NewTracer(1 << 12)
+	parent := NewRootContext("bench", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("job.run", "runner", parent, uint64(i))
+		sp.Arg = int64(i)
+		sp.End()
+	}
+}
+
+func BenchmarkTelemetryHotPathTraceDisabled(b *testing.B) {
+	var tr *Tracer
+	parent := NewRootContext("bench", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.TickSampled(i) {
+			tr.Complete("tick.control", "engine", parent, uint64(i), int64(i), 100, int64(i))
+		}
+		sp := tr.Start("job.run", "runner", parent, uint64(i))
+		sp.End()
+	}
+}
+
+func BenchmarkTelemetryHotPathTraceAmbientLookup(b *testing.B) {
+	SetActiveTrace(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr := ActiveTrace(); tr.Enabled() {
+			b.Fatal("tracer unexpectedly enabled")
+		}
+	}
+}

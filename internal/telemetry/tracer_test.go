@@ -1,0 +1,428 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanIDDeterministicAndDistinct(t *testing.T) {
+	a := SpanID(0, "suite", 7)
+	if a != SpanID(0, "suite", 7) {
+		t.Fatal("SpanID is not deterministic")
+	}
+	if a == 0 {
+		t.Fatal("SpanID returned the reserved zero value")
+	}
+	seen := map[uint64]string{a: "base"}
+	for name, variant := range map[string]uint64{
+		"other-name": SpanID(0, "job", 7),
+		"other-seq":  SpanID(0, "suite", 8),
+		"other-par":  SpanID(1, "suite", 7),
+	} {
+		if prev, dup := seen[variant]; dup {
+			t.Fatalf("collision between %s and %s", name, prev)
+		}
+		seen[variant] = name
+	}
+}
+
+func TestNewRootContextStable(t *testing.T) {
+	a := NewRootContext("suite", 42)
+	b := NewRootContext("suite", 42)
+	if a != b {
+		t.Fatalf("root context not stable: %+v vs %+v", a, b)
+	}
+	if a.ID == 0 || a.Lane == 0 {
+		t.Fatalf("root context has zero identity: %+v", a)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.TickSampled(0) {
+		t.Fatal("nil tracer samples ticks")
+	}
+	tr.Record(TraceEvent{Name: "x"})
+	tr.Complete("x", "c", SpanContext{}, 0, 0, 1, 0)
+	sp := tr.Start("x", "c", SpanContext{}, 0)
+	sp.End()
+	if sp.Context() != (SpanContext{}) {
+		t.Fatal("inert span has a non-zero context")
+	}
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 || tr.Snapshot() != nil {
+		t.Fatal("nil tracer reports state")
+	}
+	if tr.Clock() != 0 {
+		t.Fatal("nil tracer clock is non-zero")
+	}
+}
+
+func TestTracerRecordAndSnapshot(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("root", "test", SpanContext{}, 0)
+	for i := 0; i < 3; i++ {
+		tr.Complete("tick", "test", root.Context(), uint64(i), int64(i*10), 5, int64(i))
+	}
+	root.End()
+	events := tr.Snapshot()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	// Ticks recorded first (oldest-first), root last.
+	for i := 0; i < 3; i++ {
+		ev := events[i]
+		if ev.Name != "tick" || ev.Arg != int64(i) || ev.StartNS != int64(i*10) || ev.DurNS != 5 {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+		if ev.Parent != root.Context().ID {
+			t.Fatalf("event %d parent = %d, want %d", i, ev.Parent, root.Context().ID)
+		}
+		if ev.Lane != root.Context().Lane {
+			t.Fatalf("event %d lane = %d, want inherited %d", i, ev.Lane, root.Context().Lane)
+		}
+		if ev.ID != SpanID(root.Context().ID, "tick", uint64(i)) {
+			t.Fatalf("event %d has non-deterministic ID", i)
+		}
+	}
+	last := events[3]
+	if last.Name != "root" || last.Parent != 0 || last.DurNS < 0 {
+		t.Fatalf("root event = %+v", last)
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(TraceEvent{Name: "e", Arg: int64(i)})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	events := tr.Snapshot()
+	for i, ev := range events {
+		if want := int64(6 + i); ev.Arg != want {
+			t.Fatalf("event %d arg = %d, want %d (newest-4 window, oldest first)", i, ev.Arg, want)
+		}
+	}
+}
+
+func TestTracerCapacityRounding(t *testing.T) {
+	if n := len(NewTracer(5).ring); n != 8 {
+		t.Fatalf("capacity 5 rounded to %d, want 8", n)
+	}
+	if n := len(NewTracer(0).ring); n != DefaultTraceCapacity {
+		t.Fatalf("capacity 0 gave %d, want default %d", n, DefaultTraceCapacity)
+	}
+}
+
+func TestTickSampling(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetTickSample(4)
+	var sampled []int
+	for step := 0; step < 10; step++ {
+		if tr.TickSampled(step) {
+			sampled = append(sampled, step)
+		}
+	}
+	want := []int{0, 4, 8}
+	if len(sampled) != len(want) {
+		t.Fatalf("sampled %v, want %v", sampled, want)
+	}
+	for i := range want {
+		if sampled[i] != want[i] {
+			t.Fatalf("sampled %v, want %v", sampled, want)
+		}
+	}
+	tr.SetTickSample(0) // clamps to 1
+	if !tr.TickSampled(3) {
+		t.Fatal("SetTickSample(0) should sample every tick")
+	}
+	if tr.TickSampled(-1) {
+		t.Fatal("negative steps must not sample")
+	}
+}
+
+func TestTracerConcurrentRecord(t *testing.T) {
+	const goroutines, per = 8, 1000
+	tr := NewTracer(goroutines * per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			parent := NewRootContext("worker", uint64(g))
+			for i := 0; i < per; i++ {
+				tr.Complete("op", "test", parent, uint64(i), int64(i), 1, int64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Total() != goroutines*per {
+		t.Fatalf("Total = %d, want %d", tr.Total(), goroutines*per)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", tr.Dropped())
+	}
+	counts := make([]int, goroutines)
+	for _, ev := range tr.Snapshot() {
+		counts[ev.Arg]++
+	}
+	for g, n := range counts {
+		if n != per {
+			t.Fatalf("goroutine %d recorded %d events, want %d", g, n, per)
+		}
+	}
+}
+
+func TestActiveTraceAmbient(t *testing.T) {
+	if ActiveTrace() != nil {
+		t.Fatal("active tracer should start nil")
+	}
+	tr := NewTracer(8)
+	SetActiveTrace(tr)
+	defer SetActiveTrace(nil)
+	if ActiveTrace() != tr {
+		t.Fatal("ActiveTrace did not return the installed tracer")
+	}
+	SetActiveTrace(nil)
+	if ActiveTrace() != nil {
+		t.Fatal("SetActiveTrace(nil) did not clear")
+	}
+}
+
+func TestSpanContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if SpanFromContext(ctx) != (SpanContext{}) {
+		t.Fatal("empty context carries a span")
+	}
+	if SpanFromContext(nil) != (SpanContext{}) { //nolint:staticcheck // nil-safety contract
+		t.Fatal("nil context carries a span")
+	}
+	sc := NewRootContext("suite", 1)
+	ctx = ContextWithSpan(ctx, sc)
+	if got := SpanFromContext(ctx); got != sc {
+		t.Fatalf("got %+v, want %+v", got, sc)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []TraceEvent{
+		{Name: "b", DurNS: 10},
+		{Name: "a", DurNS: 100},
+		{Name: "b", DurNS: 30},
+		{Name: "c", DurNS: 140},
+	}
+	stats := Summarize(events)
+	if len(stats) != 3 {
+		t.Fatalf("got %d phases, want 3", len(stats))
+	}
+	// Sorted by total desc: c(140), a(100), b(40).
+	if stats[0].Name != "c" || stats[1].Name != "a" || stats[2].Name != "b" {
+		t.Fatalf("order = %s,%s,%s", stats[0].Name, stats[1].Name, stats[2].Name)
+	}
+	b := stats[2]
+	if b.Count != 2 || b.TotalNS != 40 || b.MinNS != 10 || b.MaxNS != 30 {
+		t.Fatalf("phase b = %+v", b)
+	}
+	if b.Mean() != 20 {
+		t.Fatalf("phase b mean = %v", b.Mean())
+	}
+	if (PhaseStat{}).Mean() != 0 {
+		t.Fatal("empty phase mean should be 0")
+	}
+}
+
+func TestSummarizeTieBreakByName(t *testing.T) {
+	stats := Summarize([]TraceEvent{
+		{Name: "z", DurNS: 50},
+		{Name: "a", DurNS: 50},
+	})
+	if stats[0].Name != "a" || stats[1].Name != "z" {
+		t.Fatalf("equal totals must sort by name: got %s,%s", stats[0].Name, stats[1].Name)
+	}
+}
+
+func TestTraceWall(t *testing.T) {
+	if TraceWall(nil) != 0 {
+		t.Fatal("empty trace has non-zero wall")
+	}
+	events := []TraceEvent{
+		{StartNS: 100, DurNS: 50},
+		{StartNS: 20, DurNS: 10},
+		{StartNS: 120, DurNS: 100},
+	}
+	if got := TraceWall(events); got.Nanoseconds() != 200 {
+		t.Fatalf("wall = %v, want 200ns (220-20)", got)
+	}
+}
+
+func TestWriteSummaryTable(t *testing.T) {
+	events := []TraceEvent{
+		{Name: "tick.control", StartNS: 0, DurNS: 3000},
+		{Name: "tick.mask", StartNS: 3000, DurNS: 1000},
+	}
+	var buf bytes.Buffer
+	if err := WriteSummaryTable(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"phase", "tick.control", "tick.mask", "wall%", "75.0%", "25.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// control (3000ns total) must render above mask (1000ns).
+	if strings.Index(out, "tick.control") > strings.Index(out, "tick.mask") {
+		t.Fatalf("phases not sorted by total desc:\n%s", out)
+	}
+}
+
+func sampleEvents() []TraceEvent {
+	root := NewRootContext("suite", 9)
+	job := SpanID(root.ID, "job.run", 2)
+	return []TraceEvent{
+		{Name: "suite", Cat: "suite", ID: root.ID, Lane: root.Lane, StartNS: 0, DurNS: 5_000_000},
+		{Name: "job.run", Cat: "runner", Label: "fig7", ID: job, Parent: root.ID, Lane: root.Lane, StartNS: 1_000, DurNS: 4_000_000, Arg: 2},
+		{Name: "tick.mask", Cat: "engine", ID: SpanID(job, "tick.mask", 0), Parent: job, Lane: root.Lane, StartNS: 2_000, DurNS: 750},
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be valid Chrome trace-event JSON.
+	var ct struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(ct.TraceEvents) != len(events) {
+		t.Fatalf("exported %d events, want %d", len(ct.TraceEvents), len(events))
+	}
+	if ph := ct.TraceEvents[0]["ph"]; ph != "X" {
+		t.Fatalf(`ph = %v, want "X"`, ph)
+	}
+
+	got, err := ParseTraceEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("parsed %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d did not round-trip:\n got %+v\nwant %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestJSONLTraceRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteTraceJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(events) {
+		t.Fatalf("got %d lines, want %d", lines, len(events))
+	}
+	got, err := ParseTraceEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("parsed %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d did not round-trip:\n got %+v\nwant %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestParseTraceBareArray(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	// Unwrap {"traceEvents": [...]} to the bare array form some tools emit.
+	var ct map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTraceEvents(bytes.NewReader(ct["traceEvents"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) || got[0] != events[0] {
+		t.Fatalf("bare array parse mismatch: %+v", got)
+	}
+}
+
+func TestParseTraceForeignChromeEvents(t *testing.T) {
+	// Events without our args payload (from another emitter) fall back to
+	// the microsecond floats; metadata (ph "M") events are skipped.
+	input := `{"traceEvents":[
+	 {"name":"meta","ph":"M","pid":1,"tid":1,"args":{}},
+	 {"name":"work","ph":"X","ts":1.5,"dur":2.5,"pid":1,"tid":3,"args":{}}
+	]}`
+	got, err := ParseTraceEvents(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d events, want 1 (metadata skipped)", len(got))
+	}
+	ev := got[0]
+	if ev.Name != "work" || ev.StartNS != 1500 || ev.DurNS != 2500 || ev.Lane != 3 {
+		t.Fatalf("foreign event = %+v", ev)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	if _, err := ParseTraceEvents(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage input must error")
+	}
+	if _, err := ParseTraceEvents(strings.NewReader(`{"bogus": true}`)); err == nil {
+		t.Fatal("object without traceEvents and invalid as JSONL must error")
+	}
+	if _, err := ParseTraceEvents(strings.NewReader("[{]")); err == nil {
+		t.Fatal("malformed array must error")
+	}
+	got, err := ParseTraceEvents(strings.NewReader("  \n\t"))
+	if err != nil || got != nil {
+		t.Fatalf("blank input: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestParseTraceJSONLSkipsBlankLines(t *testing.T) {
+	input := `{"name":"a","id":1,"lane":1,"start_ns":0,"dur_ns":5}
+
+{"name":"b","id":2,"lane":1,"start_ns":5,"dur_ns":5}
+`
+	got, err := ParseTraceEvents(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("got %+v", got)
+	}
+}
