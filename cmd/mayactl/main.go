@@ -31,6 +31,14 @@
 // extensions (.csv, .json, .bin/.mayt). CSV inputs need no side-channel
 // class table — it is rebuilt from the rows.
 //
+// -fleet N steps N co-resident tenants through the batched fleet engine
+// (internal/fleet) instead of the scalar path: each tenant runs its own
+// machine, workload, and defense instance with seeds derived from (seed,
+// tenant index), and the output is a per-tenant summary table. -csv then
+// carries a leading tenant column, and -flight concatenates every tenant's
+// trace with `# tenant N` separators. Per-tenant results are bit-identical
+// to N separate scalar runs with the same derived seeds.
+//
 // -trace records the engine's hierarchical span trace (per-tick phase
 // breakdown: mask generation, sensor guard, controller step, actuator
 // apply) for Maya designs and writes it as Chrome trace-event JSON (load in
@@ -142,6 +150,7 @@ func main() {
 	traceSample := flag.Int("trace-sample", 1, "trace every N-th control tick's phase breakdown (1 = all)")
 	traceSummary := flag.String("trace-summary", "", "aggregate a trace file into a per-phase attribution table and exit")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address during the run")
+	fleetN := flag.Int("fleet", 0, "run N independent tenants through the batched fleet engine (0 = scalar single-tenant path)")
 	flag.Parse()
 
 	if *traceSummary != "" {
@@ -217,6 +226,19 @@ func main() {
 		}
 		log.Printf("controller: dim=%d, band=[%.1f, %.1f] W, closed-loop ρ=%.3f",
 			art.Controller.Dim(), art.Band.Min, art.Band.Max, art.Report.ClosedLoopRadius)
+	}
+
+	if *fleetN > 0 {
+		if err := runFleet(fleetOpts{
+			cfg: cfg, kind: kind, art: art,
+			workload: *wlName, scale: *scale,
+			tenants: *fleetN, seed: *seed, seconds: *seconds,
+			faults: *faultsFlag, csvPath: *csvPath, flightPath: *flightPath,
+			showMetrics: *showMetrics,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	m := sim.NewMachine(cfg, *seed)

@@ -179,72 +179,107 @@ func (e *Engine) Reset(seed uint64) {
 	}
 }
 
-// Decide implements sim.Policy: one Maya wake-up. This is the per-tick
-// engine step, on the 20 ms control period; hotalloc keeps formatting and
-// boxing off it (the telemetry zero-alloc benchmark gate measures the same
-// property at run time).
+// StepPre carries the pre-controller half of one engine step from BeginStep
+// to FinishStep: the mask components, the guard's verdict on the raw
+// reading, and the tracking error the controller must consume. The fleet
+// engine batches the controller step between the two halves; the scalar
+// Decide runs them back to back.
+type StepPre struct {
+	// Target is the closed-loop mask component issued this step.
+	Target float64
+	// DitherW is the open-loop high-frequency mask component (0 when the
+	// dither is off).
+	DitherW float64
+	// PowerW is the sanitized measurement the controller and the NLMS gain
+	// estimator see.
+	PowerW float64
+	// RawW is the reading as the sensor produced it; Rejected marks it
+	// implausible (PowerW then holds the guard's substitute).
+	RawW     float64
+	Rejected bool
+	// DeltaY is the tracking error to feed the controller: 0 at step 0
+	// (no sensor reading exists yet; hold the operating point rather than
+	// reacting to a bogus zero measurement), Target−PowerW afterwards. The
+	// feedback loop tracks only the low-frequency component; the dither
+	// would be invisible to it anyway (above loop bandwidth).
+	DeltaY float64
+
+	traced                   bool
+	tMask, tSensor, tControl int64
+}
+
+// BeginStep runs the pre-controller phases of one engine step: mask draw,
+// dither draw, target bookkeeping, and the measurement guard. The caller
+// must follow with exactly one controller step on pre.DeltaY and one
+// FinishStep; Decide composes the three for the scalar path, the fleet
+// engine interposes a batched controller step.
 //
 //maya:hotpath
-func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
-	start := time.Now() //maya:wallclock overhead accounting (§VII-E); never feeds decisions
+func (e *Engine) BeginStep(step int, powerW float64) StepPre {
+	var pre StepPre
 	// Phase timestamps for the sampled-tick trace. All reads go through the
 	// tracer's clock (blessed inside telemetry); when the tick is not
-	// sampled the whole path is four int64 zero-assignments and one branch.
-	traced := e.tracer.TickSampled(step)
-	var tMask, tSensor, tControl, tActuate int64
-	if traced {
-		tMask = e.tracer.Clock()
+	// sampled the whole path is zero-assignments and one branch.
+	pre.traced = e.tracer.TickSampled(step)
+	if pre.traced {
+		pre.tMask = e.tracer.Clock()
 	}
-	target := e.gen.Next()
-	ditherW := 0.0
+	pre.Target = e.gen.Next()
 	if e.dither != nil && e.balloonGainW > 0 {
-		ditherW = e.dither.Next()
+		pre.DitherW = e.dither.Next()
 	}
 	// The recorded target is the full mask shape: the closed-loop
 	// component plus the open-loop high-frequency component.
-	e.Targets = append(e.Targets, target+ditherW)
+	e.Targets = append(e.Targets, pre.Target+pre.DitherW)
 
-	if traced {
-		tSensor = e.tracer.Clock()
+	if pre.traced {
+		pre.tSensor = e.tracer.Clock()
 	}
 	// Measurement guard: reject non-finite or implausible readings before
 	// anything downstream (controller, NLMS gain estimator) consumes them.
-	rawW := powerW
-	rejected := false
+	pre.RawW = powerW
 	if e.guard != nil && step > 0 {
-		powerW, rejected = e.sanitize(powerW, target)
-		if rejected && e.metrics != nil {
+		powerW, pre.Rejected = e.sanitize(powerW, pre.Target)
+		if pre.Rejected && e.metrics != nil {
 			e.metrics.GlitchRejects.Inc()
 		}
 	}
+	pre.PowerW = powerW
 
-	if traced {
-		tControl = e.tracer.Clock()
+	if pre.traced {
+		pre.tControl = e.tracer.Clock()
 	}
-	var u []float64
-	if step == 0 {
-		// No sensor reading exists yet; hold the operating point rather
-		// than reacting to a bogus zero measurement.
-		u = e.ctl.Step(0)
-	} else {
-		// The feedback loop tracks only the low-frequency component; the
-		// dither would be invisible to it anyway (above loop bandwidth).
-		u = e.ctl.Step(target - powerW)
+	if step > 0 {
+		pre.DeltaY = pre.Target - powerW
 	}
+	return pre
+}
+
+// FinishStep runs the post-controller phases of one engine step: blow-up
+// recovery, the NLMS dither-gain update, open-loop dither injection,
+// quantization dither, actuation, and telemetry. u is the controller's
+// output for pre.DeltaY and ctl is the state view of whichever controller
+// produced it — e.ctl on the scalar path, one tenant column of a
+// control.Bank on the fleet path.
+//
+//maya:hotpath
+func (e *Engine) FinishStep(step int, pre StepPre, u []float64, ctl control.StateView) sim.Inputs {
 	// Blow-up recovery: re-initialize the controller at the identified
 	// operating point when its state norm diverges (sustained saturation
 	// or fault bursts). The emitted u buffer survives Reset.
 	reinit := false
-	if e.guard != nil && e.guard.StateNormLimit > 0 && e.ctl.StateNorm() > e.guard.StateNormLimit {
-		e.ctl.Reset()
+	if e.guard != nil && e.guard.StateNormLimit > 0 && ctl.StateNorm() > e.guard.StateNormLimit {
+		ctl.Reset()
 		reinit = true
 		if e.metrics != nil {
 			e.metrics.StateReinits.Inc()
 		}
 	}
-	if traced {
+	var tActuate int64
+	if pre.traced {
 		tActuate = e.tracer.Clock()
 	}
+	powerW := pre.PowerW
 	u2 := u[2]
 	if e.dither != nil && e.balloonGainW > 0 {
 		// Update the gain estimate: the dither applied for the period that
@@ -268,10 +303,10 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 		e.prevY = powerW
 		e.havePrevY = true
 	}
-	if ditherW != 0 { //nolint:maya/floateq ditherW is set to exactly 0 when dither is off
+	if pre.DitherW != 0 { //nolint:maya/floateq DitherW is set to exactly 0 when dither is off
 		// High-frequency mask component, actuated open-loop on the balloon,
 		// normalized by the adaptive gain estimate.
-		ud := ditherW / e.ghat
+		ud := pre.DitherW / e.ghat
 		u2 += ud
 		if u2 < 0 {
 			u2 = 0
@@ -298,18 +333,18 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 		}
 	}
 	d, idle, b, clipped := e.knobs.FromNormsInfo(uq)
-	if traced {
+	if pre.traced {
 		tEnd := e.tracer.Clock()
 		seq := uint64(step)
-		e.tracer.Complete("tick.mask", "engine", e.traceCtx, seq, tMask, tSensor-tMask, int64(step))
-		e.tracer.Complete("tick.sensor", "engine", e.traceCtx, seq, tSensor, tControl-tSensor, int64(step))
-		e.tracer.Complete("tick.control", "engine", e.traceCtx, seq, tControl, tActuate-tControl, int64(step))
+		e.tracer.Complete("tick.mask", "engine", e.traceCtx, seq, pre.tMask, pre.tSensor-pre.tMask, int64(step))
+		e.tracer.Complete("tick.sensor", "engine", e.traceCtx, seq, pre.tSensor, pre.tControl-pre.tSensor, int64(step))
+		e.tracer.Complete("tick.control", "engine", e.traceCtx, seq, pre.tControl, tActuate-pre.tControl, int64(step))
 		e.tracer.Complete("tick.actuate", "engine", e.traceCtx, seq, tActuate, tEnd-tActuate, int64(step))
 	}
 
 	if e.metrics != nil {
 		e.metrics.Steps.Inc()
-		if e.ctl.Saturated() {
+		if ctl.Saturated() {
 			e.metrics.Saturations.Inc()
 		}
 		for _, c := range clipped {
@@ -318,41 +353,55 @@ func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
 			}
 		}
 		if step > 0 {
-			err := target + ditherW - powerW
+			err := pre.Target + pre.DitherW - powerW
 			if err < 0 {
 				err = -err
 			}
 			e.metrics.AbsErrorW.Observe(err)
 		}
-		e.metrics.StateNorm.Set(e.ctl.StateNorm())
+		e.metrics.StateNorm.Set(ctl.StateNorm())
 	}
 	if e.flight != nil {
 		rec := telemetry.FlightRecord{
 			Step:      step,
-			TargetW:   target + ditherW,
+			TargetW:   pre.Target + pre.DitherW,
 			MeasuredW: powerW,
-			ErrorW:    target + ditherW - powerW,
+			ErrorW:    pre.Target + pre.DitherW - powerW,
 			U:         uq,
 			Applied:   [3]float64{d, idle, b},
-			Saturated: e.ctl.Saturated(),
+			Saturated: ctl.Saturated(),
 			Clipped:   clipped,
-			StateNorm: e.ctl.StateNorm(),
+			StateNorm: ctl.StateNorm(),
 		}
-		if rejected {
+		if pre.Rejected {
 			rec.Rejected = true
 			// JSON cannot carry NaN/±Inf; non-finite raw readings are
 			// recorded as 0 (the Rejected flag still marks them).
-			if !math.IsNaN(rawW) && !math.IsInf(rawW, 0) {
-				rec.RawW = rawW
+			if !math.IsNaN(pre.RawW) && !math.IsInf(pre.RawW, 0) {
+				rec.RawW = pre.RawW
 			}
 		}
 		rec.StateReinit = reinit
 		e.flight.Record(rec)
 	}
 
-	e.DecideTime += time.Since(start) //maya:wallclock overhead accounting (§VII-E)
 	e.Steps++
 	return sim.Inputs{FreqGHz: d, Idle: idle, Balloon: b}
+}
+
+// Decide implements sim.Policy: one Maya wake-up. This is the per-tick
+// engine step, on the 20 ms control period; hotalloc keeps formatting and
+// boxing off it (the telemetry zero-alloc benchmark gate measures the same
+// property at run time).
+//
+//maya:hotpath
+func (e *Engine) Decide(step int, powerW float64) sim.Inputs {
+	start := time.Now() //maya:wallclock overhead accounting (§VII-E); never feeds decisions
+	pre := e.BeginStep(step, powerW)
+	u := e.ctl.Step(pre.DeltaY)
+	in := e.FinishStep(step, pre, u, e.ctl) //nolint:maya/hotalloc StateView here wraps an existing pointer, which fits the interface word without allocating
+	e.DecideTime += time.Since(start)       //maya:wallclock overhead accounting (§VII-E)
+	return in
 }
 
 // MaskTargets returns the targets issued so far (one per Decide call).

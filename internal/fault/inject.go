@@ -117,20 +117,61 @@ func (in *Injector) Stats() Stats { return in.stats }
 // SetMetrics attaches telemetry counters (nil detaches).
 func (in *Injector) SetMetrics(m *Metrics) { in.metrics = m }
 
+// MachineHooks is the fault-hook surface of a simulated machine: the three
+// seams the counter and actuator fault channels install into. *sim.Machine
+// satisfies it, and so does one tenant column of a sim.MachineBank
+// (*sim.BankMachine), which is how the fleet engine attaches per-tenant
+// plans without scalar machines.
+type MachineHooks interface {
+	SetInputFilter(sim.InputFilter)
+	SetLagScale(float64)
+	SetEnergyWrap(float64)
+}
+
 // Attach installs the plan's counter and actuator faults on the machine:
 // energy-counter wraparound, actuation lag scaling, and the SetInputs
 // filter for command drops and stuck knobs. An empty plan installs nothing.
-func (in *Injector) Attach(m *sim.Machine) {
+func (in *Injector) Attach(m *sim.Machine) { in.AttachHooks(m) }
+
+// AttachHooks is Attach over any MachineHooks implementation.
+func (in *Injector) AttachHooks(h MachineHooks) {
 	if in.plan.Counter.WrapJ > 0 {
-		m.SetEnergyWrap(in.plan.Counter.WrapJ)
+		h.SetEnergyWrap(in.plan.Counter.WrapJ)
 	}
 	if s := in.plan.Actuator.LagScale; s > 0 && s != 1 { //nolint:maya/floateq LagScale is an exact config value; 1 means disabled
-		m.SetLagScale(s)
+		h.SetLagScale(s)
 	}
 	a := in.plan.Actuator
 	if a.DropProb > 0 || a.StuckProb > 0 {
-		m.SetInputFilter(in.filterInputs)
+		h.SetInputFilter(in.filterInputs)
 	}
+}
+
+// TimingDecision draws the plan's timing faults for one control step and
+// returns the verdict: miss means the wakeup never happened (the caller
+// must hold the previous command and not run the policy), stale means the
+// policy runs on the previous period's sample. The draw order, stats, and
+// metrics are exactly FaultyPolicy.Decide's — at most one timing fault
+// fires per step, and step 0 never faults (there is no previous command to
+// hold yet). The fleet engine calls this directly where the scalar path
+// goes through the FaultyPolicy wrapper.
+func (in *Injector) TimingDecision(step int) (miss, stale bool) {
+	t := in.plan.Timing
+	if step > 0 && t.MissProb > 0 && in.timR.Bool(t.MissProb) {
+		in.stats.DeadlineMisses++
+		if in.metrics != nil {
+			in.metrics.TimingFaults.Inc()
+		}
+		return true, false
+	}
+	if step > 0 && t.StaleProb > 0 && in.timR.Bool(t.StaleProb) {
+		in.stats.StaleSamples++
+		if in.metrics != nil {
+			in.metrics.TimingFaults.Inc()
+		}
+		return false, true
+	}
+	return false, false
 }
 
 // filterInputs implements the actuator fault channel as a sim.InputFilter.
@@ -268,22 +309,13 @@ func (p *FaultyPolicy) Inner() sim.Policy { return p.inner }
 
 // Decide implements sim.Policy.
 func (p *FaultyPolicy) Decide(step int, powerW float64) sim.Inputs {
-	t := p.in.plan.Timing
-	// Step 0 always runs: there is no previous command to hold yet.
-	if step > 0 && t.MissProb > 0 && p.in.timR.Bool(t.MissProb) {
-		p.in.stats.DeadlineMisses++
-		if p.in.metrics != nil {
-			p.in.metrics.TimingFaults.Inc()
-		}
+	miss, stale := p.in.TimingDecision(step)
+	if miss {
 		p.prevPower = powerW
 		return p.prev
 	}
 	pw := powerW
-	if step > 0 && t.StaleProb > 0 && p.in.timR.Bool(t.StaleProb) {
-		p.in.stats.StaleSamples++
-		if p.in.metrics != nil {
-			p.in.metrics.TimingFaults.Inc()
-		}
+	if stale {
 		pw = p.prevPower
 	}
 	p.prevPower = powerW

@@ -1,0 +1,397 @@
+// Package fleet steps many defended machines in one process: a structure-
+// of-arrays batched engine over the scalar building blocks. Per-tenant
+// state — controller vectors, integrators, machine power-model state, mask
+// RNG positions — lives column-wise in contiguous slabs (control.Bank,
+// sim.MachineBank), so one fleet tick runs the machine model and the
+// controller as batched kernels that load each shared coefficient once per
+// fleet instead of once per machine.
+//
+// The batched path is pinned bit-for-bit to the scalar reference: every
+// tenant of a fleet run produces exactly the traces, flight records, and
+// guard decisions of an independent scalar core.Engine/sim.Run with the
+// same derived seeds. The difftest subpackage is that proof, table-driven
+// across all five defenses, fault plans, and tenant counts; golden_test.go
+// pins a committed 16-tenant trace. The scalar path stays untouched as the
+// reference implementation — the fleet engine reuses its exact decision
+// code (core.Engine.BeginStep/FinishStep, fault.Injector) and batches only
+// the arithmetic between them.
+package fleet
+
+import (
+	"fmt"
+
+	"github.com/maya-defense/maya/internal/control"
+	"github.com/maya-defense/maya/internal/core"
+	"github.com/maya-defense/maya/internal/defense"
+	"github.com/maya-defense/maya/internal/fault"
+	"github.com/maya-defense/maya/internal/rng"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/telemetry"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+// tenantDomain separates per-tenant seed derivation from other users of
+// rng.ChildSeed on the same base seed.
+const tenantDomain = 0xf1ee7 // "FLEET"
+
+// TenantSeeds derives tenant t's four independent run seeds from the fleet
+// base seed: machine noise, workload phase, policy secret, and fault
+// streams. The scalar reference run for tenant t must use exactly these
+// seeds — the differential harness does — and the derivation is pure, so
+// seeds never depend on fleet size or construction order.
+func TenantSeeds(base uint64, t int) (machine, work, policy, faults uint64) {
+	tb := rng.ChildSeed(rng.ChildSeed(base, tenantDomain), uint64(t))
+	return rng.ChildSeed(tb, 0), rng.ChildSeed(tb, 1), rng.ChildSeed(tb, 2), rng.ChildSeed(tb, 3)
+}
+
+// Spec configures a fleet run: one machine configuration and defense kind
+// across Tenants machines, each with its own derived seeds, workload
+// instance, and fault injector.
+type Spec struct {
+	Config sim.Config
+	Kind   defense.Kind
+	// Art is the synthesized Maya artifact; required for the Maya kinds,
+	// ignored otherwise.
+	Art *core.Design
+	// PeriodTicks is the control period (default 20, the paper's 20 ms).
+	PeriodTicks int
+	Tenants     int
+	// BaseSeed roots every tenant's seed derivation (see TenantSeeds).
+	BaseSeed uint64
+	// NewWorkload builds one tenant's workload (it is Reset with the
+	// tenant's workload seed). Nil runs every tenant idle.
+	NewWorkload func() workload.Workload
+	// Plan, when non-empty, attaches a per-tenant fault injector seeded
+	// with the tenant's fault seed.
+	Plan fault.Plan
+	// Guard, when non-nil, is installed on every tenant's engine (Maya
+	// kinds only, like the scalar path).
+	Guard *core.Guard
+	// FlightCapacity, when > 0, attaches a flight recorder of that
+	// capacity to every tenant's engine (Maya kinds only).
+	FlightCapacity int
+	// WarmupTicks and MaxTicks mirror sim.RunSpec: an unrecorded idle
+	// warmup, then the recorded run.
+	WarmupTicks int
+	MaxTicks    int
+}
+
+// TenantResult is one tenant's view of a fleet run: exactly the
+// sim.RunResult a scalar run produces, plus the Maya-side artifacts.
+type TenantResult struct {
+	sim.RunResult
+	// Targets aliases the tenant engine's mask-target log (Maya kinds).
+	Targets []float64
+	// Flight is the tenant's flight recorder, if one was attached.
+	Flight *telemetry.FlightRecorder
+	// Stats counts the faults the tenant's injector fired.
+	Stats fault.Stats
+}
+
+// Engine is one fleet in flight. Like the scalar engine it is single-
+// goroutine: one caller owns it; concurrent observers read only through
+// the telemetry registry and the Spill (see race tests).
+type Engine struct {
+	spec Spec
+	bank *sim.MachineBank
+
+	// Maya path: per-tenant engines share one batched controller bank.
+	// The engines carry everything per-tenant and sequential (mask stream,
+	// dither, NLMS estimator, guard hold state, flight); the bank carries
+	// the controller state slabs that StepAll batches.
+	engines []*core.Engine
+	ctlBank *control.Bank
+
+	// Non-Maya path: plain per-tenant policies (fault-wrapped as needed).
+	policies []sim.Policy
+
+	injectors []*fault.Injector
+	sensors   []sim.PowerSensor
+	workloads []workload.Workload
+
+	// Timing-fault bookkeeping for the Maya path, mirroring
+	// fault.FaultyPolicy's prev/prevPower fields per tenant.
+	prevIn    []sim.Inputs
+	prevPower []float64
+
+	// Per-period scratch.
+	ins     []sim.Inputs
+	pw      []float64
+	deltaY  []float64
+	active  []bool
+	pres    []core.StepPre
+	stepRes []sim.StepResult
+	idle    []workload.Workload
+
+	metrics *Metrics
+	spill   *Spill
+}
+
+// New assembles a fleet. It panics on an invalid spec (like sim.NewMachine
+// on an invalid config).
+func New(spec Spec) *Engine {
+	if spec.Tenants <= 0 {
+		panic("fleet: Spec.Tenants must be positive")
+	}
+	if spec.PeriodTicks <= 0 {
+		spec.PeriodTicks = 20
+	}
+	if spec.MaxTicks <= 0 {
+		spec.MaxTicks = 1 << 20
+	}
+	maya := spec.Kind == defense.MayaConstant || spec.Kind == defense.MayaGS
+	if maya && spec.Art == nil {
+		panic("fleet: Maya kinds need a synthesized core.Design")
+	}
+	d := defense.NewDesign(spec.Kind, spec.Config, spec.Art, spec.PeriodTicks)
+
+	T := spec.Tenants
+	e := &Engine{
+		spec:      spec,
+		injectors: make([]*fault.Injector, T),
+		sensors:   make([]sim.PowerSensor, T),
+		workloads: make([]workload.Workload, T),
+		prevIn:    make([]sim.Inputs, T),
+		prevPower: make([]float64, T),
+		ins:       make([]sim.Inputs, T),
+		pw:        make([]float64, T),
+		deltaY:    make([]float64, T),
+		active:    make([]bool, T),
+		pres:      make([]core.StepPre, T),
+		stepRes:   make([]sim.StepResult, T),
+		idle:      make([]workload.Workload, T),
+	}
+	if maya {
+		e.engines = make([]*core.Engine, T)
+	} else {
+		e.policies = make([]sim.Policy, T)
+	}
+
+	machineSeeds := make([]uint64, T)
+	for t := 0; t < T; t++ {
+		machineSeeds[t], _, _, _ = TenantSeeds(spec.BaseSeed, t)
+	}
+	e.bank = sim.NewMachineBank(spec.Config, machineSeeds)
+
+	for t := 0; t < T; t++ {
+		_, ws, ps, fs := TenantSeeds(spec.BaseSeed, t)
+		if !spec.Plan.Empty() {
+			e.injectors[t] = fault.MustNew(spec.Plan, fs)
+			e.injectors[t].AttachHooks(e.bank.Tenant(t))
+		}
+		var sensor sim.PowerSensor = e.bank.Sensor(t)
+		if e.injectors[t] != nil {
+			sensor = e.injectors[t].Sensor(sensor)
+		}
+		e.sensors[t] = sensor
+
+		if spec.NewWorkload != nil {
+			w := spec.NewWorkload()
+			w.Reset(ws)
+			e.workloads[t] = w
+		} else {
+			e.workloads[t] = workload.Idle{}
+		}
+		e.idle[t] = workload.Idle{}
+
+		pol := d.Policy(ps)
+		if maya {
+			eng, ok := pol.(*core.Engine)
+			if !ok {
+				panic(fmt.Sprintf("fleet: %v policy is %T, not *core.Engine", spec.Kind, pol))
+			}
+			if spec.Guard != nil {
+				eng.SetGuard(spec.Guard)
+			}
+			if spec.FlightCapacity > 0 {
+				eng.SetFlight(telemetry.NewFlightRecorder(spec.FlightCapacity))
+			}
+			e.engines[t] = eng
+		} else {
+			if e.injectors[t] != nil {
+				pol = e.injectors[t].Policy(pol)
+			}
+			e.policies[t] = pol
+		}
+	}
+	if maya {
+		e.ctlBank = control.NewBank(spec.Art.Controller, T)
+		if spec.Guard != nil {
+			e.ctlBank.SetIntegratorClamp(spec.Guard.IntegratorClamp)
+		}
+	}
+	return e
+}
+
+// SetMetrics attaches fleet telemetry (nil detaches).
+func (e *Engine) SetMetrics(m *Metrics) { e.metrics = m }
+
+// SetSpill attaches a concurrent-reader spill buffer: every control period
+// the engine pushes one Sample per tenant into it (nil detaches).
+func (e *Engine) SetSpill(s *Spill) { e.spill = s }
+
+// Tenants returns the fleet size.
+func (e *Engine) Tenants() int { return e.spec.Tenants }
+
+// decideAll runs every tenant's control decision for one step: the
+// fleet-path equivalent of calling each tenant's (possibly fault-wrapped)
+// policy. On the Maya path the controller arithmetic for the whole fleet
+// runs as one batched control.Bank.StepAll between the per-tenant
+// BeginStep/FinishStep halves; everything else stays the scalar code.
+func (e *Engine) decideAll(step int) {
+	if e.engines == nil {
+		for t, p := range e.policies {
+			e.ins[t] = p.Decide(step, e.pw[t])
+		}
+		return
+	}
+	anyFault := false
+	for t, eng := range e.engines {
+		pw := e.pw[t]
+		if inj := e.injectors[t]; inj != nil {
+			anyFault = true
+			miss, stale := inj.TimingDecision(step)
+			if miss {
+				// The wakeup never happened: hold the previous command;
+				// the engine (mask, controller, estimator) does not advance.
+				e.prevPower[t] = e.pw[t]
+				e.ins[t] = e.prevIn[t]
+				e.active[t] = false
+				continue
+			}
+			if stale {
+				pw = e.prevPower[t]
+			}
+			e.prevPower[t] = e.pw[t]
+		}
+		e.active[t] = true
+		e.pres[t] = eng.BeginStep(step, pw)
+		e.deltaY[t] = e.pres[t].DeltaY
+	}
+	active := e.active
+	if !anyFault {
+		active = nil
+	}
+	e.ctlBank.StepAll(e.deltaY, active)
+	for t, eng := range e.engines {
+		if !e.active[t] {
+			continue
+		}
+		in := eng.FinishStep(step, e.pres[t], e.ctlBank.U(t), e.ctlBank.Tenant(t))
+		e.ins[t] = in
+		e.prevIn[t] = in
+	}
+}
+
+// Run executes the fleet to MaxTicks and returns one result per tenant.
+// The loop is sim.Run transcribed over the bank: identical per-tenant
+// phase order (step machine → observe sensor → period boundary: read,
+// decide, actuate), so every tenant's recorded trace matches its scalar
+// twin's bit for bit.
+func (e *Engine) Run() []TenantResult {
+	spec := e.spec
+	T := spec.Tenants
+	if e.metrics != nil {
+		e.metrics.Tenants.Set(float64(T))
+	}
+	res := make([]TenantResult, T)
+	for t := range res {
+		res[t].FinishedTick = -1
+	}
+	step := 0
+
+	// Initial decision before any power is read.
+	for t := range e.pw {
+		e.pw[t] = 0
+	}
+	e.decideAll(step)
+	e.bank.SetInputsAll(e.ins)
+
+	// Unrecorded warmup: the defense regulates the idle fleet.
+	for tick := 0; tick < spec.WarmupTicks; tick++ {
+		e.bank.StepAll(e.idle, e.stepRes)
+		for t := range e.sensors {
+			e.sensors[t].Observe(e.stepRes[t])
+		}
+		if (tick+1)%spec.PeriodTicks == 0 {
+			for t := range e.sensors {
+				e.pw[t] = e.sensors[t].ReadW()
+			}
+			step++
+			e.decideAll(step)
+			e.bank.SetInputsAll(e.ins)
+		}
+	}
+
+	startEnergy := make([]float64, T)
+	for t := 0; t < T; t++ {
+		startEnergy[t] = e.bank.TrueEnergyJ(t)
+		res[t].FirstStep = step
+		res[t].InputTrace = append(res[t].InputTrace, e.bank.Inputs(t))
+	}
+	for tick := 0; tick < spec.MaxTicks; tick++ {
+		tPhase := e.clock()
+		e.bank.StepAll(e.workloads, e.stepRes)
+		for t := 0; t < T; t++ {
+			r := e.stepRes[t]
+			res[t].TickPowerW = append(res[t].TickPowerW, r.PowerW)
+			res[t].TickWallW = append(res[t].TickWallW, r.WallW)
+			e.sensors[t].Observe(r)
+			if r.Finished && res[t].FinishedTick < 0 {
+				res[t].FinishedTick = int64(tick) + 1
+			}
+		}
+		if e.metrics != nil {
+			e.metrics.Ticks.Add(uint64(T))
+			tNow := e.clock()
+			e.metrics.MachineNs.Add(uint64(tNow - tPhase))
+			tPhase = tNow
+		}
+		if (tick+1)%spec.PeriodTicks == 0 {
+			for t := 0; t < T; t++ {
+				e.pw[t] = e.sensors[t].ReadW()
+				res[t].DefenseSamples = append(res[t].DefenseSamples, e.pw[t])
+			}
+			if e.metrics != nil {
+				tNow := e.clock()
+				e.metrics.SenseNs.Add(uint64(tNow - tPhase))
+				tPhase = tNow
+			}
+			step++
+			e.decideAll(step)
+			if e.metrics != nil {
+				e.metrics.Periods.Inc()
+				tNow := e.clock()
+				e.metrics.ControlNs.Add(uint64(tNow - tPhase))
+				tPhase = tNow
+			}
+			e.bank.SetInputsAll(e.ins)
+			for t := 0; t < T; t++ {
+				res[t].InputTrace = append(res[t].InputTrace, e.bank.Inputs(t))
+			}
+			if e.metrics != nil {
+				e.metrics.ActuateNs.Add(uint64(e.clock() - tPhase))
+			}
+			if e.spill != nil {
+				for t := 0; t < T; t++ {
+					e.spill.push(Sample{Step: step, Tenant: t, PowerW: e.pw[t]})
+				}
+			}
+		}
+	}
+	for t := 0; t < T; t++ {
+		res[t].EnergyJ = e.bank.TrueEnergyJ(t) - startEnergy[t]
+		res[t].Seconds = float64(len(res[t].TickPowerW)) * spec.Config.TickSeconds
+		if e.engines != nil {
+			res[t].Targets = e.engines[t].Targets
+			res[t].Flight = e.engines[t].Flight()
+		}
+		if e.injectors[t] != nil {
+			res[t].Stats = e.injectors[t].Stats()
+		}
+	}
+	return res
+}
+
+// Engines returns the per-tenant engines (Maya kinds; nil otherwise).
+func (e *Engine) Engines() []*core.Engine { return e.engines }

@@ -1,0 +1,127 @@
+package fleet_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/core"
+	"github.com/maya-defense/maya/internal/defense"
+	"github.com/maya-defense/maya/internal/fleet"
+	"github.com/maya-defense/maya/internal/fleet/difftest"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+func gsFleet(t *testing.T, cfg sim.Config, tenants, ticks int, seed uint64, kind defense.Kind) ([]fleet.TenantResult, *core.Design) {
+	t.Helper()
+	art, err := difftest.DesignFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.DefaultGuard(cfg)
+	e := fleet.New(fleet.Spec{
+		Config:      cfg,
+		Kind:        kind,
+		Art:         art,
+		PeriodTicks: 20,
+		Tenants:     tenants,
+		BaseSeed:    seed,
+		NewWorkload: func() workload.Workload { return workload.NewApp("blackscholes").Scale(0.02) },
+		Guard:       &g,
+		MaxTicks:    ticks,
+	})
+	return e.Run(), art
+}
+
+// TestFleetTDPCapNeverExceeded is the batched path's power-safety property:
+// across every tenant of a fleet, every mask target the engine commits to —
+// including the open-loop dither component — stays within (0, TDP], and for
+// the dither-free Constant mask, exactly inside the design band (whose
+// ceiling is capped at 0.8*TDP per the paper's §V-B constraint). The
+// actuator outputs recorded at each decision must likewise sit inside the
+// knobs' physical ranges: a batched clamp/quantize that drifted out of
+// range would burn more than the machine's rating or command impossible
+// frequencies.
+func TestFleetTDPCapNeverExceeded(t *testing.T) {
+	cfg := sim.Sys1()
+	knobs := cfg.Knobs()
+	for _, kind := range []defense.Kind{defense.MayaGS, defense.MayaConstant} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			results, art := gsFleet(t, cfg, 16, 1200, 0x7d9, kind)
+			for tn, res := range results {
+				if len(res.Targets) == 0 {
+					t.Fatalf("tenant %d: no targets recorded", tn)
+				}
+				for i, tgt := range res.Targets {
+					if !(tgt > 0 && tgt <= cfg.TDP) {
+						t.Fatalf("tenant %d: target[%d] = %g W breaches (0, TDP=%g]", tn, i, tgt, cfg.TDP)
+					}
+					if kind == defense.MayaConstant && !art.Band.Contains(tgt) {
+						t.Fatalf("tenant %d: constant target[%d] = %g W outside band [%g, %g]",
+							tn, i, tgt, art.Band.Min, art.Band.Max)
+					}
+				}
+				for i, in := range res.InputTrace {
+					switch {
+					case in.FreqGHz < knobs.DVFS.Min || in.FreqGHz > knobs.DVFS.Max:
+						t.Fatalf("tenant %d: input[%d] freq %g outside [%g, %g]",
+							tn, i, in.FreqGHz, knobs.DVFS.Min, knobs.DVFS.Max)
+					case in.Idle < knobs.Idle.Min || in.Idle > knobs.Idle.Max:
+						t.Fatalf("tenant %d: input[%d] idle %g outside [%g, %g]",
+							tn, i, in.Idle, knobs.Idle.Min, knobs.Idle.Max)
+					case in.Balloon < knobs.Balloon.Min || in.Balloon > knobs.Balloon.Max:
+						t.Fatalf("tenant %d: input[%d] balloon %g outside [%g, %g]",
+							tn, i, in.Balloon, knobs.Balloon.Min, knobs.Balloon.Max)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFleetHoldSemanticsSizeInvariant pins the per-tenant stream isolation
+// property: a tenant's mask sequence — hold counters (Nhold redraw
+// boundaries), Nyquist-capped sinusoid parameters, everything the Targets
+// series encodes — is a pure function of (BaseSeed, tenant index). Growing
+// the fleet from 1 to 4 to 16 tenants, which changes every neighbor a
+// tenant shares slabs with, must not move a single bit of any common
+// tenant's targets, actuator commands, or defense trace.
+func TestFleetHoldSemanticsSizeInvariant(t *testing.T) {
+	cfg := sim.Sys1()
+	sizes := []int{1, 4, 16}
+	runs := make([][]fleet.TenantResult, len(sizes))
+	for i, n := range sizes {
+		runs[i], _ = gsFleet(t, cfg, n, 800, 0x51e, defense.MayaGS)
+	}
+	ref := runs[len(runs)-1]
+	for i, n := range sizes[:len(sizes)-1] {
+		for tn := 0; tn < n; tn++ {
+			assertSameFloats(t, "targets", n, tn, runs[i][tn].Targets, ref[tn].Targets)
+			assertSameFloats(t, "defense samples", n, tn, runs[i][tn].DefenseSamples, ref[tn].DefenseSamples)
+			a, b := runs[i][tn].InputTrace, ref[tn].InputTrace
+			if len(a) != len(b) {
+				t.Fatalf("size %d tenant %d: input trace length %d vs %d", n, tn, len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] { // bit-for-bit equality is the property under test
+					t.Fatalf("size %d tenant %d: input[%d] %+v vs %+v", n, tn, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+func assertSameFloats(t *testing.T, what string, size, tenant int, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("size %d tenant %d: %s length %d vs %d", size, tenant, what, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("size %d tenant %d: %s[%d] = %x vs %x", size, tenant, what, i,
+				math.Float64bits(a[i]), math.Float64bits(b[i]))
+		}
+	}
+}

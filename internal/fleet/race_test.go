@@ -1,0 +1,79 @@
+package fleet_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/maya-defense/maya/internal/core"
+	"github.com/maya-defense/maya/internal/defense"
+	"github.com/maya-defense/maya/internal/fleet"
+	"github.com/maya-defense/maya/internal/fleet/difftest"
+	"github.com/maya-defense/maya/internal/sim"
+	"github.com/maya-defense/maya/internal/telemetry"
+	"github.com/maya-defense/maya/internal/workload"
+)
+
+// TestFleetConcurrentObserver steps a fleet on one goroutine while a reader
+// on another continuously drains the spill buffer and snapshots/exports the
+// telemetry registry. Under -race (the CI race job runs the whole tree)
+// this proves the engine's concurrency contract: the spill mutex and the
+// registry's internal synchronization are the only cross-goroutine seams,
+// and the state slabs never leak across them.
+func TestFleetConcurrentObserver(t *testing.T) {
+	cfg := sim.Sys1()
+	art, err := difftest.DesignFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.DefaultGuard(cfg)
+	eng := fleet.New(fleet.Spec{
+		Config:      cfg,
+		Kind:        defense.MayaGS,
+		Art:         art,
+		PeriodTicks: 20,
+		Tenants:     32,
+		BaseSeed:    0xace,
+		NewWorkload: func() workload.Workload { return workload.NewApp("blackscholes").Scale(0.02) },
+		Guard:       &g,
+		MaxTicks:    4000,
+	})
+	reg := telemetry.NewRegistry()
+	eng.SetMetrics(fleet.NewMetrics(reg))
+	spill := &fleet.Spill{}
+	eng.SetSpill(spill)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	drained := 0
+	go func() {
+		defer wg.Done()
+		for {
+			drained += len(spill.Drain())
+			reg.Snapshot()
+			if err := reg.WriteJSONL(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+			select {
+			case <-done:
+				drained += len(spill.Drain())
+				return
+			default:
+			}
+		}
+	}()
+	results := eng.Run()
+	close(done)
+	wg.Wait()
+
+	if len(results) != 32 {
+		t.Fatalf("got %d tenant results, want 32", len(results))
+	}
+	// One sample per tenant per control period: 4000 ticks / 20 = 200
+	// periods, all drained between pushes or in the final sweep.
+	if want := 32 * (4000 / 20); drained != want {
+		t.Fatalf("drained %d samples, want %d", drained, want)
+	}
+}

@@ -1,0 +1,39 @@
+package fleet
+
+import "sync"
+
+// Sample is one tenant's per-period reading as spilled to a concurrent
+// observer.
+type Sample struct {
+	Step   int
+	Tenant int
+	PowerW float64
+}
+
+// Spill is the fleet's only concurrent seam: a mutex-guarded buffer the
+// engine pushes one Sample per tenant into at every control period, for a
+// reader on another goroutine to Drain while the fleet runs. Everything
+// else in the engine — the state slabs, the flight recorders, the result
+// accumulators — is single-goroutine by design; the race test drives a
+// fleet and a draining reader together under -race to prove the slabs are
+// never shared mutably across that boundary.
+type Spill struct {
+	mu  sync.Mutex
+	buf []Sample
+}
+
+// push appends samples from the engine's goroutine.
+func (s *Spill) push(smp Sample) {
+	s.mu.Lock()
+	s.buf = append(s.buf, smp)
+	s.mu.Unlock()
+}
+
+// Drain removes and returns all buffered samples.
+func (s *Spill) Drain() []Sample {
+	s.mu.Lock()
+	out := s.buf
+	s.buf = nil
+	s.mu.Unlock()
+	return out
+}

@@ -49,6 +49,11 @@ func (b Band) Clamp(v float64) float64 {
 	return math.Max(b.Min, math.Min(b.Max, v))
 }
 
+// Contains reports whether v lies inside the band (inclusive). Property
+// tests use it to assert mask targets never leave the designed range —
+// in particular that they respect the TDP cap the band's Max encodes.
+func (b Band) Contains(v float64) bool { return v >= b.Min && v <= b.Max }
+
 func (b Band) validate() {
 	if b.Max <= b.Min {
 		panic(fmt.Sprintf("mask: empty band [%g, %g]", b.Min, b.Max))
