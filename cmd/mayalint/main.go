@@ -1,16 +1,29 @@
 // Command mayalint runs the project's static analyzers (internal/lint)
 // over the repository and fails on findings. It is the mechanical check
 // behind the determinism guarantees: wall-clock discipline, RNG-stream
-// ownership, map-iteration order, float comparisons, and hot-path
-// allocation hygiene.
+// ownership, map-iteration order, float comparisons, hot-path allocation
+// hygiene, and — through the whole-program call graph — lock-hold,
+// context-propagation, and channel-backpressure discipline.
 //
 // Usage:
 //
-//	mayalint [-json] [-json-file out.json] [-run regexp] [-list] [packages]
+//	mayalint [flags] [packages]
+//
+//	-json               write findings as JSON to stdout
+//	-json-file FILE     also write findings as JSON to FILE (even when clean)
+//	-sarif              write findings as SARIF 2.1.0 to stdout
+//	-sarif-file FILE    also write findings as SARIF 2.1.0 to FILE (even when clean)
+//	-baseline FILE      drop findings recorded in FILE; fail if entries went stale
+//	-write-baseline FILE  write the current findings to FILE as a new baseline and exit
+//	-nolint-report      list every //nolint:maya suppression; fail on reason-less
+//	                    or unknown-analyzer directives
+//	-run REGEXP         only run analyzers whose name matches
+//	-list               list analyzers and exit
+//	-debug              print type-check warnings to stderr
 //
 // Packages are go-style directory patterns ("./...", "./internal/core");
-// the default is "./...". Exit status is 0 when clean, 1 on findings, and
-// 2 on a usage or load error.
+// the default is "./...". Exit status is 0 when clean, 1 on findings (or
+// audit problems), and 2 on a usage or load error.
 package main
 
 import (
@@ -29,11 +42,16 @@ func main() {
 
 func run() int {
 	var (
-		jsonOut  = flag.Bool("json", false, "write findings as JSON to stdout")
-		jsonFile = flag.String("json-file", "", "also write findings as JSON to this file (always written, even when clean)")
-		runExpr  = flag.String("run", "", "only run analyzers whose name matches this regexp")
-		list     = flag.Bool("list", false, "list analyzers and exit")
-		debug    = flag.Bool("debug", false, "print type-check warnings to stderr")
+		jsonOut       = flag.Bool("json", false, "write findings as JSON to stdout")
+		jsonFile      = flag.String("json-file", "", "also write findings as JSON to this file (always written, even when clean)")
+		sarifOut      = flag.Bool("sarif", false, "write findings as SARIF 2.1.0 to stdout")
+		sarifFile     = flag.String("sarif-file", "", "also write findings as SARIF 2.1.0 to this file (always written, even when clean)")
+		baselinePath  = flag.String("baseline", "", "drop findings recorded in this baseline file; stale entries fail the run")
+		writeBaseline = flag.String("write-baseline", "", "write the current findings to this file as a new baseline and exit")
+		nolintReport  = flag.Bool("nolint-report", false, "list every //nolint:maya suppression; reason-less or unknown-analyzer directives fail the run")
+		runExpr       = flag.String("run", "", "only run analyzers whose name matches this regexp")
+		list          = flag.Bool("list", false, "list analyzers and exit")
+		debug         = flag.Bool("debug", false, "print type-check warnings to stderr")
 	)
 	flag.Parse()
 
@@ -68,6 +86,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "mayalint: %v\n", err)
 		return 2
 	}
+	root, err := lint.ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mayalint: %v\n", err)
+		return 2
+	}
 	pkgs, err := lint.Load(cwd, patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mayalint: %v\n", err)
@@ -81,24 +104,64 @@ func run() int {
 		}
 	}
 
+	if *nolintReport {
+		return reportNolints(pkgs, root)
+	}
+
 	diags := lint.Run(pkgs, analyzers)
 	if diags == nil {
 		diags = []lint.Diagnostic{} // a clean run renders as [], not null
 	}
+
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(diags, root)
+		if err := lint.WriteBaseline(*writeBaseline, b); err != nil {
+			fmt.Fprintf(os.Stderr, "mayalint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "mayalint: wrote %d baseline entr%s to %s\n", len(b.Findings), plural(len(b.Findings), "y", "ies"), *writeBaseline)
+		return 0
+	}
+
+	var stale []lint.BaselineEntry
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mayalint: %v\n", err)
+			return 2
+		}
+		diags, stale = b.Filter(diags, root)
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+	}
+
 	if *jsonFile != "" {
 		if err := writeJSON(*jsonFile, diags); err != nil {
 			fmt.Fprintf(os.Stderr, "mayalint: %v\n", err)
 			return 2
 		}
 	}
-	if *jsonOut {
+	if *sarifFile != "" {
+		if err := writeSARIFFile(*sarifFile, diags, analyzers, root); err != nil {
+			fmt.Fprintf(os.Stderr, "mayalint: %v\n", err)
+			return 2
+		}
+	}
+	switch {
+	case *sarifOut:
+		if err := lint.WriteSARIF(os.Stdout, diags, analyzers, root); err != nil {
+			fmt.Fprintf(os.Stderr, "mayalint: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {
 			fmt.Fprintf(os.Stderr, "mayalint: %v\n", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}
@@ -106,7 +169,38 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "mayalint: %d finding(s)\n", len(diags))
 		}
 	}
-	if len(diags) > 0 {
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "mayalint: stale baseline entry (finding fixed; prune it): %s\n", e)
+	}
+	if len(diags) > 0 || len(stale) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// reportNolints prints the suppression audit: every //nolint:maya
+// directive with its reason, then the problems that fail the run.
+func reportNolints(pkgs []*lint.Package, root string) int {
+	entries, problems := lint.NolintReport(pkgs, root)
+	for _, e := range entries {
+		reason := e.Reason
+		if reason == "" {
+			reason = "(no reason)"
+		}
+		names := ""
+		for i, n := range e.Analyzers {
+			if i > 0 {
+				names += ","
+			}
+			names += "maya/" + n
+		}
+		fmt.Printf("%s:%d: %s: %s\n", e.File, e.Line, names, reason)
+	}
+	fmt.Fprintf(os.Stderr, "mayalint: %d suppression(s)\n", len(entries))
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "mayalint: %s\n", p)
+	}
+	if len(problems) > 0 {
 		return 1
 	}
 	return 0
@@ -118,4 +212,23 @@ func writeJSON(path string, diags []lint.Diagnostic) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func writeSARIFFile(path string, diags []lint.Diagnostic, analyzers []*lint.Analyzer, root string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := lint.WriteSARIF(f, diags, analyzers, root); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func baselineDiags() []Diagnostic {
+	return []Diagnostic{
+		{Analyzer: "lockhold", File: "/mod/a/x.go", Line: 10, Col: 3, Message: "channel send while holding mu"},
+		{Analyzer: "lockhold", File: "/mod/a/x.go", Line: 40, Col: 3, Message: "channel send while holding mu"},
+		{Analyzer: "ctxprop", File: "/mod/b/y.go", Line: 7, Col: 1, Message: "goroutine blocks but ignores in-scope context ctx"},
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := baselineDiags()
+	b := NewBaseline(diags, "/mod")
+	if len(b.Findings) != 2 {
+		t.Fatalf("entries = %d, want 2 (identical findings collapse with a count)", len(b.Findings))
+	}
+	fresh, stale := b.Filter(diags, "/mod")
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("self-filter: fresh=%v stale=%v, want none", fresh, stale)
+	}
+
+	path := filepath.Join(t.TempDir(), "lint.baseline.json")
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale = loaded.Filter(diags, "/mod")
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("after round trip: fresh=%v stale=%v, want none", fresh, stale)
+	}
+}
+
+// A finding that moves to another line keeps its fingerprint: baselines
+// must not churn on unrelated edits above the finding.
+func TestBaselineLineIndependent(t *testing.T) {
+	diags := baselineDiags()
+	b := NewBaseline(diags, "/mod")
+	moved := diags
+	moved[0].Line = 99
+	fresh, stale := b.Filter(moved, "/mod")
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("moved finding: fresh=%v stale=%v, want none", fresh, stale)
+	}
+}
+
+func TestBaselineNewFindingFails(t *testing.T) {
+	b := NewBaseline(baselineDiags(), "/mod")
+	extra := append(baselineDiags(), Diagnostic{
+		Analyzer: "sendloop", File: "/mod/a/x.go", Line: 3, Col: 1, Message: "send on unbuffered channel out",
+	})
+	fresh, _ := b.Filter(extra, "/mod")
+	if len(fresh) != 1 || fresh[0].Analyzer != "sendloop" {
+		t.Errorf("fresh = %v, want the one sendloop finding", fresh)
+	}
+}
+
+// A third identical finding exceeds the recorded count and must surface.
+func TestBaselineCountExceeded(t *testing.T) {
+	b := NewBaseline(baselineDiags(), "/mod")
+	extra := append(baselineDiags(), Diagnostic{
+		Analyzer: "lockhold", File: "/mod/a/x.go", Line: 80, Col: 3, Message: "channel send while holding mu",
+	})
+	fresh, _ := b.Filter(extra, "/mod")
+	if len(fresh) != 1 || fresh[0].Line != 80 {
+		t.Errorf("fresh = %v, want the over-count lockhold finding", fresh)
+	}
+}
+
+// Fixed findings leave stale entries behind so the ledger shrinks.
+func TestBaselineStale(t *testing.T) {
+	b := NewBaseline(baselineDiags(), "/mod")
+	_, stale := b.Filter(baselineDiags()[:1], "/mod")
+	if len(stale) != 2 {
+		t.Fatalf("stale = %v, want the drained lockhold count and the ctxprop entry", stale)
+	}
+	for _, e := range stale {
+		if e.Count != 1 {
+			t.Errorf("stale entry %s count = %d, want 1", e.key(), e.Count)
+		}
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := b.Filter(baselineDiags(), "/mod")
+	if len(fresh) != 3 || len(stale) != 0 {
+		t.Errorf("empty baseline: fresh=%d stale=%d, want 3 and 0", len(fresh), len(stale))
+	}
+}

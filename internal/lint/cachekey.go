@@ -12,10 +12,68 @@ import "go/ast"
 // ranging over a map is banned outright rather than only when the body is
 // order-sensitive, because everything computed here is on its way into the
 // key.
+// Since the interprocedural engine landed the audit is transitive: the
+// same rules apply to everything a cachekey function can reach through the
+// call graph (static, interface, and function-value edges), because a
+// helper one call deep feeds the key exactly as directly-inlined code
+// would. The diagnostic lands on the call edge inside the cachekey
+// function and names the offending site with its blame chain.
 var CacheKey = &Analyzer{
-	Name: "cachekey",
-	Doc:  "wall-clock or map-iteration input inside //maya:cachekey key-derivation functions",
-	Run:  runCacheKey,
+	Name:       "cachekey",
+	Doc:        "wall-clock or map-iteration input inside (or reachable from) //maya:cachekey key-derivation functions",
+	Run:        runCacheKey,
+	RunProgram: runCacheKeyProgram,
+}
+
+// runCacheKeyProgram walks each cachekey function's callee cone and
+// reports reachable wall-clock reads (blessed or not — blessings do not
+// apply under a key derivation), map ranges, and math/rand uses.
+func runCacheKeyProgram(pass *ProgramPass) {
+	g := pass.Prog.Graph()
+	for _, root := range g.Nodes {
+		if !root.Pkg.funcDirective(root.Decl, DirCachekey) {
+			continue
+		}
+		for _, e := range root.Out {
+			if !followKey(e) {
+				continue
+			}
+			start := &Visit{Node: e.Callee, Via: e}
+			reportKeyTaint(pass, root, start)
+			g.Cone(start, func(e2 *Edge) bool { return followKey(e2) }, func(v *Visit) bool {
+				reportKeyTaint(pass, root, v)
+				return true
+			})
+		}
+	}
+}
+
+// followKey prunes the cachekey cone walk: nested cachekey functions are
+// audited on their own, and test-only helpers never derive production
+// keys.
+func followKey(e *Edge) bool {
+	callee := e.Callee
+	if callee.Pkg.funcDirective(callee.Decl, DirCachekey) {
+		return false
+	}
+	return !callee.File.Test
+}
+
+func reportKeyTaint(pass *ProgramPass, root *Node, v *Visit) {
+	facts := v.Node.Facts()
+	edge := v.Path()[0]
+	for _, w := range facts.wall {
+		pass.Reportf(edge.Pos, "cache-key derivation %s reaches a wall-clock read time.%s at %s (%s); keys must be pure functions of code version, config, and seed (//maya:wallclock does not apply here)",
+			root.Decl.Name.Name, w.name, pass.Prog.relPos(w.pos), v.Chain())
+	}
+	for _, pos := range facts.mapRanges {
+		pass.Reportf(edge.Pos, "cache-key derivation %s reaches a map range at %s (%s); iteration order is randomized per run — hash fields in declaration order or sort the keys",
+			root.Decl.Name.Name, pass.Prog.relPos(pos), v.Chain())
+	}
+	for _, pos := range facts.mathRand {
+		pass.Reportf(edge.Pos, "cache-key derivation %s reaches a math/rand use at %s (%s); keys must be seed-derived via internal/rng",
+			root.Decl.Name.Name, pass.Prog.relPos(pos), v.Chain())
+	}
 }
 
 func runCacheKey(pass *Pass) {

@@ -6,10 +6,15 @@ import "strconv"
 // draw from internal/rng so every stochastic component owns a named,
 // seed-derived stream; tests must too, so a failing property test
 // reproduces bit-for-bit from its logged seed.
+// The interprocedural half (detflow.go) traces any math/rand use that
+// survives under an audited //nolint suppression through the call graph
+// into the trace/flight writers, where it would corrupt reproducible
+// artifacts.
 var DetRand = &Analyzer{
-	Name: "detrand",
-	Doc:  "math/rand is banned; use internal/rng so streams are seed-derived and reproducible",
-	Run:  runDetRand,
+	Name:       "detrand",
+	Doc:        "math/rand is banned; use internal/rng so streams are seed-derived and reproducible",
+	Run:        runDetRand,
+	RunProgram: runDetRandProgram,
 }
 
 func runDetRand(pass *Pass) {

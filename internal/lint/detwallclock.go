@@ -9,10 +9,15 @@ import "go/ast"
 // accounting that measures the host (and never feeds back into decisions)
 // is legitimate — annotate it, which doubles as an audit trail of every
 // place real time enters the system.
+// The interprocedural half (detflow.go) additionally walks the callee
+// cones of trace/flight writers: there even a *blessed* read is a finding,
+// because accounting values must never be serialized into artifacts the
+// byte-identity gates compare.
 var DetWallclock = &Analyzer{
-	Name: "detwallclock",
-	Doc:  "time.Now/time.Since outside //maya:wallclock-annotated sites break trace reproducibility",
-	Run:  runDetWallclock,
+	Name:       "detwallclock",
+	Doc:        "time.Now/time.Since outside //maya:wallclock sites; blessed reads reachable from trace/flight writers",
+	Run:        runDetWallclock,
+	RunProgram: runDetWallclockProgram,
 }
 
 func runDetWallclock(pass *Pass) {

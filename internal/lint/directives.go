@@ -20,8 +20,8 @@ import (
 //
 // nolint directives use the same trailing/standalone placement.
 
-// DirWallclock, DirHotpath, and DirCachekey are the recognized //maya:
-// directive names.
+// DirWallclock, DirHotpath, DirCachekey, and DirColdpath are the
+// recognized //maya: directive names.
 const (
 	DirWallclock = "wallclock"
 	DirHotpath   = "hotpath"
@@ -29,6 +29,11 @@ const (
 	// cachekey analyzer holds them to stricter determinism rules than the
 	// rest of the repo (see cachekey.go).
 	DirCachekey = "cachekey"
+	// DirColdpath asserts that a function is deliberately off the hot
+	// path (panic formatting, error reporting): hotalloc's transitive cone
+	// walk does not descend into it even when it is called from a
+	// //maya:hotpath function. Doc-comment placement only.
+	DirColdpath = "coldpath"
 )
 
 type nolintDirective struct {
@@ -39,6 +44,7 @@ type nolintDirective struct {
 	col       int
 	appliesTo int
 	names     []string // suppressed analyzer names, "maya/" prefix stripped
+	reason    string   // prose after the name list; audited by -nolint-report
 	used      bool
 }
 
@@ -94,7 +100,7 @@ func (idx *directiveIndex) addComment(fset *token.FileSet, f *File, c *ast.Comme
 		}
 		return
 	}
-	names, ok := nolintNames(c.Text)
+	names, reason, ok := nolintNames(c.Text)
 	if !ok {
 		return
 	}
@@ -104,7 +110,7 @@ func (idx *directiveIndex) addComment(fset *token.FileSet, f *File, c *ast.Comme
 	}
 	idx.nolints = append(idx.nolints, &nolintDirective{
 		file: pos.Filename, line: pos.Line, col: pos.Column,
-		appliesTo: appliesTo, names: names,
+		appliesTo: appliesTo, names: names, reason: reason,
 	})
 }
 
@@ -153,23 +159,24 @@ func mayaDirective(text string) (string, bool) {
 	return name, true
 }
 
-// nolintNames parses "//nolint:maya/a,maya/b" and returns the maya-scoped
-// analyzer names. Entries for other linters are ignored; a bare "//nolint"
-// without maya entries is not ours.
-func nolintNames(text string) (names []string, ok bool) {
+// nolintNames parses "//nolint:maya/a,maya/b <reason>" and returns the
+// maya-scoped analyzer names plus the trailing explanation. Entries for
+// other linters are ignored; a bare "//nolint" without maya entries is not
+// ours.
+func nolintNames(text string) (names []string, reason string, ok bool) {
 	rest, found := strings.CutPrefix(text, "//nolint:")
 	if !found {
-		return nil, false
+		return nil, "", false
 	}
 	// Allow a trailing explanation after whitespace: "//nolint:maya/x exact
 	// zero test". The list itself must not contain spaces.
-	list, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	list, after, _ := strings.Cut(strings.TrimSpace(rest), " ")
 	for _, entry := range strings.Split(list, ",") {
 		if name, isMaya := strings.CutPrefix(strings.TrimSpace(entry), "maya/"); isMaya && name != "" {
 			names = append(names, name)
 		}
 	}
-	return names, len(names) > 0
+	return names, strings.TrimSpace(after), len(names) > 0
 }
 
 // suppressing returns the directive covering d, if any.

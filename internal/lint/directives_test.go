@@ -30,21 +30,22 @@ func TestMayaDirective(t *testing.T) {
 
 func TestNolintNames(t *testing.T) {
 	cases := []struct {
-		text  string
-		names []string
+		text   string
+		names  []string
+		reason string
 	}{
-		{"//nolint:maya/floateq", []string{"floateq"}},
-		{"//nolint:maya/floateq exact zero test", []string{"floateq"}},
-		{"//nolint:maya/floateq,maya/maprange reason", []string{"floateq", "maprange"}},
-		{"//nolint:gosec,maya/detrand", []string{"detrand"}}, // other linters' entries ignored
-		{"//nolint:gosec", nil},
-		{"//nolint", nil},
-		{"// not a directive", nil},
+		{"//nolint:maya/floateq", []string{"floateq"}, ""},
+		{"//nolint:maya/floateq exact zero test", []string{"floateq"}, "exact zero test"},
+		{"//nolint:maya/floateq,maya/maprange reason", []string{"floateq", "maprange"}, "reason"},
+		{"//nolint:gosec,maya/detrand", []string{"detrand"}, ""}, // other linters' entries ignored
+		{"//nolint:gosec", nil, ""},
+		{"//nolint", nil, ""},
+		{"// not a directive", nil, ""},
 	}
 	for _, tc := range cases {
-		names, ok := nolintNames(tc.text)
-		if !reflect.DeepEqual(names, tc.names) || ok != (tc.names != nil) {
-			t.Errorf("nolintNames(%q) = %v, %v; want %v", tc.text, names, ok, tc.names)
+		names, reason, ok := nolintNames(tc.text)
+		if !reflect.DeepEqual(names, tc.names) || reason != tc.reason || ok != (tc.names != nil) {
+			t.Errorf("nolintNames(%q) = %v, %q, %v; want %v, %q", tc.text, names, reason, ok, tc.names, tc.reason)
 		}
 	}
 }

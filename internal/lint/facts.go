@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// funcFacts is one function's dataflow-relevant summary, computed once per
+// call-graph node and consumed by the interprocedural analyzers: hotalloc
+// charges a hot path for allocations in its callee cone, cachekey and
+// detwallclock trace wall-clock taint into sinks, and lockhold treats a
+// call to a blocking function like a direct channel operation.
+type funcFacts struct {
+	allocs    []allocSite
+	wall      []wallSite
+	blocks    []blockSite
+	mapRanges []token.Pos
+	// mathRand reports a use of math/rand (only reachable under a
+	// //nolint:maya/detrand suppression; the taint pass still tracks it).
+	mathRand []token.Pos
+}
+
+// wallSite is one time.Now/time.Since call.
+type wallSite struct {
+	pos     token.Pos
+	name    string // "Now" or "Since"
+	blessed bool   // covered by //maya:wallclock
+}
+
+// blockSite is one potentially blocking operation.
+type blockSite struct {
+	pos     token.Pos
+	what    string // "channel send", "channel receive", ...
+	spawned bool   // inside a go-statement closure: blocks the spawned goroutine, not the caller
+}
+
+// Facts computes (once) and returns the node's summary.
+func (n *Node) Facts() *funcFacts {
+	if n.facts == nil {
+		n.facts = collectFacts(n)
+	}
+	return n.facts
+}
+
+func collectFacts(n *Node) *funcFacts {
+	pkg, fd := n.Pkg, n.Decl
+	f := &funcFacts{allocs: collectAllocs(pkg, fd)}
+	spawnedIn := spawnedRanges(fd)
+	spawned := func(pos token.Pos) bool {
+		for _, r := range spawnedIn {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.CallExpr:
+			pkgPath, name := pkg.callPkgFunc(v)
+			switch {
+			case pkgPath == "time" && (name == "Now" || name == "Since"):
+				f.wall = append(f.wall, wallSite{
+					pos:     v.Pos(),
+					name:    name,
+					blessed: pkg.blessed(n.File, v.Pos(), DirWallclock),
+				})
+			case pkgPath == "time" && name == "Sleep":
+				f.blocks = append(f.blocks, blockSite{v.Pos(), "time.Sleep", spawned(v.Pos())})
+			}
+			if tname, mname, ok := pkg.syncMethodCall(v); ok && tname == "WaitGroup" && mname == "Wait" {
+				// sync.Cond.Wait is deliberately not a block site: a Cond
+				// waits with its lock held by design. WaitGroup.Wait is
+				// the blocking join.
+				f.blocks = append(f.blocks, blockSite{v.Pos(), "sync.WaitGroup.Wait", spawned(v.Pos())})
+			}
+		case *ast.SendStmt:
+			f.blocks = append(f.blocks, blockSite{v.Arrow, "channel send", spawned(v.Arrow)})
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				f.blocks = append(f.blocks, blockSite{v.OpPos, "channel receive", spawned(v.OpPos)})
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(v) {
+				f.blocks = append(f.blocks, blockSite{v.Select, "select", spawned(v.Select)})
+			}
+		case *ast.RangeStmt:
+			t := pkg.typeOf(v.X)
+			if mapUnder(t) {
+				f.mapRanges = append(f.mapRanges, v.For)
+			}
+			if chanUnder(t) {
+				f.blocks = append(f.blocks, blockSite{v.For, "range over channel", spawned(v.For)})
+			}
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[v]; obj != nil && obj.Pkg() != nil {
+				if p := obj.Pkg().Path(); p == "math/rand" || p == "math/rand/v2" {
+					f.mathRand = append(f.mathRand, v.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// spawnedRanges returns the source ranges of function literals launched by
+// go statements inside fd; operations inside them run on the spawned
+// goroutine.
+func spawnedRanges(fd *ast.FuncDecl) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(fd, func(node ast.Node) bool {
+		gs, ok := node.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+			out = append(out, [2]token.Pos{lit.Pos(), lit.End()})
+		}
+		return true
+	})
+	return out
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -8,13 +8,15 @@ import (
 )
 
 // Analyzer is one project rule: a name (used in //nolint:maya/<name>
-// directives and -run filters), a one-line description, and a Run function
-// that inspects a type-checked package and reports findings through the
-// Pass.
+// directives and -run filters), a one-line description, and up to two run
+// functions — Run inspects one type-checked package at a time; RunProgram
+// sees the whole program at once, with the call graph, for the
+// interprocedural rules. Either may be nil.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name       string
+	Doc        string
+	Run        func(*Pass)
+	RunProgram func(*ProgramPass)
 }
 
 // Diagnostic is one finding, positioned for editors and CI annotations.
@@ -40,9 +42,25 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Pkg.Fset.Position(pos)
-	*p.diags = append(*p.diags, Diagnostic{
-		Analyzer: p.Analyzer.Name,
+	report(p.Pkg.Fset, p.Analyzer.Name, p.diags, pos, format, args...)
+}
+
+// ProgramPass is one analyzer's view of the whole program.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	report(p.Prog.Fset, p.Analyzer.Name, p.diags, pos, format, args...)
+}
+
+func report(fset *token.FileSet, analyzer string, diags *[]Diagnostic, pos token.Pos, format string, args ...any) {
+	position := fset.Position(pos)
+	*diags = append(*diags, Diagnostic{
+		Analyzer: analyzer,
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,
@@ -65,24 +83,57 @@ func Analyzers() []*Analyzer {
 		FloatEq,
 		HotAlloc,
 		CacheKey,
+		LockHold,
+		CtxProp,
+		SendLoop,
 	}
 }
 
 // Run applies the analyzers to every package, resolves //nolint:maya/<name>
 // suppressions, reports unused or malformed suppressions, and returns the
-// surviving diagnostics sorted by position.
+// surviving diagnostics sorted by position. The whole-program analyzers
+// run over a Program built from the same packages; build one explicitly
+// with NewProgram and call RunProgram to amortize the call graph across
+// several invocations.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunProgram(NewProgram(pkgs), analyzers)
+}
+
+// RunProgram is Run over a pre-built Program.
+func RunProgram(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	var out []Diagnostic
-	for _, pkg := range pkgs {
+	// Per-package passes.
+	rawByPkg := make(map[*Package][]Diagnostic, len(prog.Pkgs))
+	for _, pkg := range prog.Pkgs {
 		var raw []Diagnostic
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &raw})
+			if a.Run != nil {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &raw})
+			}
 		}
-		out = append(out, suppress(pkg, raw, known)...)
+		rawByPkg[pkg] = raw
+	}
+	// Whole-program passes; findings route to the package owning the file
+	// so the package's suppression index covers them.
+	var progDiags []Diagnostic
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, diags: &progDiags})
+		}
+	}
+	var out []Diagnostic
+	for _, d := range progDiags {
+		if pkg := prog.owner[d.File]; pkg != nil {
+			rawByPkg[pkg] = append(rawByPkg[pkg], d)
+		} else {
+			out = append(out, d)
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		out = append(out, suppress(pkg, rawByPkg[pkg], known)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

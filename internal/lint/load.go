@@ -207,9 +207,14 @@ func loadDir(fset *token.FileSet, imp types.Importer, dir, modRoot, modPath stri
 			inPkg = append(inPkg, f)
 		}
 	}
+	// modRoot is absolute (findModule resolves it) but dir is whatever the
+	// caller passed; resolve it so Rel yields the real module-relative path
+	// and distinct directories never collapse onto the same import path.
 	importPath := modPath
-	if rel, err := filepath.Rel(modRoot, dir); err == nil && rel != "." {
-		importPath = modPath + "/" + filepath.ToSlash(rel)
+	if absDir, err := filepath.Abs(dir); err == nil {
+		if rel, err := filepath.Rel(modRoot, absDir); err == nil && rel != "." && !strings.HasPrefix(rel, "..") {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
 	}
 	var pkgs []*Package
 	if len(inPkg) > 0 {

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNolintReport(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "src"), []string{"./nolint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, problems := NolintReport(pkgs, "")
+	if len(entries) != 5 {
+		t.Fatalf("entries = %d, want 5:\n%+v", len(entries), entries)
+	}
+	for _, e := range entries {
+		if len(e.Analyzers) == 0 {
+			t.Errorf("%s:%d: entry with no analyzers", e.File, e.Line)
+		}
+		if strings.Contains(e.File, "\\") || filepath.IsAbs(e.File) {
+			t.Errorf("entry file %q is not a relative forward-slash path", e.File)
+		}
+	}
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want the reason-less and unknown-analyzer directives", problems)
+	}
+	var sawReasonless, sawUnknown bool
+	for _, p := range problems {
+		if strings.Contains(p, "has no reason") {
+			sawReasonless = true
+		}
+		if strings.Contains(p, "unknown analyzer maya/bogus") {
+			sawUnknown = true
+		}
+	}
+	if !sawReasonless || !sawUnknown {
+		t.Errorf("problems = %v, want one reason-less and one unknown-analyzer", problems)
+	}
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output, the static-analysis interchange format CI systems
+// and code hosts ingest natively. Only the slice of the spec the findings
+// need is modeled: one run, one rule per analyzer, one physical location
+// per result. URIs are module-root-relative with forward slashes so the
+// artifact is stable across machines.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders the diagnostics as a SARIF 2.1.0 log. root, when
+// non-empty, rebases file paths so artifact URIs are module-relative;
+// analyzers provides the rule metadata (every analyzer is listed, found
+// or not, so rule IDs resolve in viewers).
+func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer, root string) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               NolintName,
+		ShortDescription: sarifMessage{Text: "problems with //nolint:maya suppression directives themselves"},
+	})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: sarifURI(d.File, root)},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "mayalint",
+				InformationURI: "https://github.com/maya-defense/maya",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI rebases file under root (when possible) and normalizes to the
+// forward-slash relative form SARIF artifact locations use.
+func sarifURI(file, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSARIFStructure validates the emitted log against the slice of the
+// SARIF 2.1.0 schema the findings use: required top-level fields, the
+// run/tool/driver spine, and for every result a resolvable ruleId, a
+// message, and a physical location with a relative URI and a 1-based
+// startLine. The check decodes into untyped maps so a struct-tag typo in
+// the writer cannot hide from it.
+func TestSARIFStructure(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "lockhold", File: "/mod/internal/fleet/spill.go", Line: 42, Col: 7, Message: "channel send while holding s.mu"},
+		{Analyzer: "hotalloc", File: "/mod/internal/core/engine.go", Line: 9, Col: 1, Message: "fmt.Sprintf in hot path step"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags, Analyzers(), "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got := log["version"]; got != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", got)
+	}
+	schema, _ := log["$schema"].(string)
+	if !strings.Contains(schema, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %q, want a 2.1.0 schema reference", schema)
+	}
+	runs, ok := log["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %T(len %d), want one run", log["runs"], len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "mayalint" {
+		t.Errorf("driver.name = %v, want mayalint", driver["name"])
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range driver["rules"].([]any) {
+		rule := r.(map[string]any)
+		id, _ := rule["id"].(string)
+		if id == "" {
+			t.Error("rule with empty id")
+		}
+		if desc := rule["shortDescription"].(map[string]any)["text"]; desc == "" {
+			t.Errorf("rule %s has no shortDescription.text", id)
+		}
+		ruleIDs[id] = true
+	}
+	for _, a := range Analyzers() {
+		if !ruleIDs[a.Name] {
+			t.Errorf("analyzer %s missing from driver.rules", a.Name)
+		}
+	}
+	results, ok := run["results"].([]any)
+	if !ok || len(results) != len(diags) {
+		t.Fatalf("results len = %d, want %d", len(results), len(diags))
+	}
+	for i, r := range results {
+		res := r.(map[string]any)
+		id, _ := res["ruleId"].(string)
+		if !ruleIDs[id] {
+			t.Errorf("result %d ruleId %q not in driver.rules", i, id)
+		}
+		if res["level"] != "error" {
+			t.Errorf("result %d level = %v, want error", i, res["level"])
+		}
+		if txt := res["message"].(map[string]any)["text"]; txt == "" {
+			t.Errorf("result %d has empty message.text", i)
+		}
+		locs := res["locations"].([]any)
+		phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		uri, _ := phys["artifactLocation"].(map[string]any)["uri"].(string)
+		if strings.HasPrefix(uri, "/") || strings.Contains(uri, "\\") {
+			t.Errorf("result %d uri %q is not a relative forward-slash path", i, uri)
+		}
+		line, _ := phys["region"].(map[string]any)["startLine"].(float64)
+		if line < 1 {
+			t.Errorf("result %d startLine = %v, want >= 1", i, line)
+		}
+	}
+}
+
+// TestSARIFEmpty: a clean run still renders a well-formed log with an
+// empty (not null) results array, which is what artifact consumers expect.
+func TestSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, Analyzers(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("empty run must serialize results as [], got:\n%s", buf.String())
+	}
+}

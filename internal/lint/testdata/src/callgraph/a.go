@@ -1,0 +1,56 @@
+// Package callgraph is a fixture for the call-graph builder: generic
+// instantiation, method values, function-typed struct fields, and
+// interface dispatch. It is deliberately clean under every analyzer.
+package callgraph
+
+// Ring carries a function-typed field, the runner/fleet callback shape.
+type Ring struct {
+	step func(int) int
+}
+
+func inc(x int) int { return x + 1 }
+
+func dbl(x int) int { return x * 2 }
+
+func NewRing() *Ring { return &Ring{step: inc} }
+
+// Advance dispatches through the field: a value edge to every
+// address-taken func of the same signature.
+func (r *Ring) Advance(x int) int { return r.step(x) }
+
+// Map is generic; call edges land on the origin, not the instantiation.
+func Map[T any](xs []T, f func(T) T) []T {
+	out := make([]T, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}
+
+// UseMap instantiates Map explicitly.
+func UseMap(xs []int) []int { return Map[int](xs, dbl) }
+
+type Counter struct{ n int }
+
+func (c *Counter) Add(d int) { c.n += d }
+
+// Bind returns a method value: Add's address escapes.
+func Bind(c *Counter) func(int) {
+	return c.Add
+}
+
+// Drive invokes an arbitrary function value.
+func Drive(f func(int)) { f(3) }
+
+func Run(c *Counter) {
+	Drive(Bind(c))
+}
+
+// Stepper exercises interface dispatch.
+type Stepper interface{ Step(int) int }
+
+type Unit struct{}
+
+func (Unit) Step(x int) int { return x }
+
+func Apply(s Stepper, x int) int { return s.Step(x) }

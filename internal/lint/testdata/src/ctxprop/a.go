@@ -1,0 +1,72 @@
+// Package ctxprop is a golden-test fixture for the ctxprop analyzer:
+// dropped context propagation.
+package ctxprop
+
+import "context"
+
+func lookup(ctx context.Context, key string) string { _ = ctx; return key }
+
+func fresh(ctx context.Context) string {
+	return lookup(context.Background(), "k") // want "context.Background.. passed to a callee while ctx is in scope"
+}
+
+func todo(ctx context.Context) string {
+	return lookup(context.TODO(), "k") // want "context.TODO.. passed to a callee while ctx is in scope"
+}
+
+// propagated forwards the caller's context: clean.
+func propagated(ctx context.Context) string {
+	return lookup(ctx, "k")
+}
+
+func spawnBlind(ctx context.Context, ch chan int) {
+	go func() { // want "goroutine blocks but ignores in-scope context ctx"
+		ch <- 1
+	}()
+}
+
+// spawnAware captures the context in the closure: clean.
+func spawnAware(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// spawnPure never blocks: no cancellation hook needed.
+func spawnPure(ctx context.Context, counters []int) {
+	go func() {
+		for i := range counters {
+			counters[i]++
+		}
+	}()
+}
+
+// pump blocks on its channel until it is closed.
+func pump(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+func spawnNamed(ctx context.Context, ch chan int) {
+	go pump(ch) // want "goroutine .*pump blocks but receives no context"
+}
+
+func pumpCtx(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// spawnNamedCtx threads the context through: clean.
+func spawnNamedCtx(ctx context.Context, ch chan int) {
+	go pumpCtx(ctx, ch)
+}

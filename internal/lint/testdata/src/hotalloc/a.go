@@ -17,7 +17,16 @@ func step(n int, name string) interface{} {
 	s := name + "!" // want "string concatenation in hot path step allocates"
 	typed(s, 2)
 	sink(n)        // want "argument boxes int into"
-	sinkMany(1, s) // want "argument boxes int into" "argument boxes string into"
+	sinkMany(1, s) // want "argument boxes string into"
+
+	// Constants box to static data the compiler emits at build time — no
+	// runtime allocation, no finding (the 1 above, the conversion below,
+	// and panicking with a literal message).
+	cv := interface{}(3.5)
+	_ = cv
+	if n < 0 {
+		panic("step: negative tick")
+	}
 
 	// Forwarding an existing slice does not box per element.
 	pre := []any{name}
@@ -26,7 +35,8 @@ func step(n int, name string) interface{} {
 	var box interface{}
 	box = n // want "assignment boxes int into"
 	_ = box
-	conv := interface{}(3.5) // want "conversion boxes float64 into"
+	f := float64(n)
+	conv := interface{}(f) // want "conversion boxes float64 into"
 	_ = conv
 
 	return n // want "return boxes int into"

@@ -1,0 +1,93 @@
+// Package lockhold is a golden-test fixture for the lockhold analyzer:
+// blocking operations performed while a mutex is held.
+package lockhold
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	n  int
+}
+
+func (g *guarded) sendHeld() {
+	g.mu.Lock()
+	g.ch <- 1 // want "channel send while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) recvHeld() int {
+	g.mu.Lock()
+	defer g.mu.Unlock() // deferred unlock: held until return
+	return <-g.ch       // want "channel receive while holding g.mu"
+}
+
+func (g *guarded) sleepHeld() {
+	g.rw.RLock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding g.rw"
+	g.rw.RUnlock()
+}
+
+func (g *guarded) waitHeld(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding g.mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) selectHeld(done chan struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "select while holding g.mu"
+	case <-done:
+	case v := <-g.ch:
+		g.n = v
+	}
+}
+
+func (g *guarded) drainHeld() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for v := range g.ch { // want "range over channel while holding g.mu"
+		g.n += v
+	}
+}
+
+// release unlocks before the send: clean.
+func (g *guarded) release() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.ch <- g.n
+}
+
+// condWait is exempt: a sync.Cond waits with its lock held by design.
+func condWait(mu *sync.Mutex, c *sync.Cond) {
+	mu.Lock()
+	c.Wait()
+	mu.Unlock()
+}
+
+// spawnHeld is clean: the spawned goroutine does not run under the
+// caller's lock.
+func (g *guarded) spawnHeld() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		g.ch <- 1
+	}()
+}
+
+// waitTick blocks; calling it with a lock held is the transitive case.
+func waitTick(ch chan int) int {
+	return <-ch
+}
+
+func (g *guarded) transitive(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n = waitTick(ch) // want "call to .*waitTick blocks .channel receive"
+}

@@ -20,3 +20,9 @@ func unused(a float64) float64 {
 func unknown(a, b float64) bool {
 	return a == b //nolint:maya/bogus no such analyzer // want "nolint names unknown analyzer maya/bogus" "float == comparison"
 }
+
+func reasonless(a, b float64) bool {
+	// A bare suppression still silences the finding; the nolint report is
+	// what refuses it (TestNolintReport).
+	return a == b //nolint:maya/floateq
+}

@@ -1,0 +1,78 @@
+// Package sendloop is a golden-test fixture for the sendloop analyzer:
+// unbuffered sends inside hot loops.
+package sendloop
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// emit is the fixture's per-tick producer.
+//
+//maya:hotpath
+func emit(n int) {
+	out := make(chan int)
+	go drain(out)
+	for i := 0; i < n; i++ {
+		out <- i // want "send on unbuffered channel out inside a //maya:hotpath loop"
+	}
+	close(out)
+}
+
+// emitBuffered is clean: the consumer can lag without stalling the loop.
+//
+//maya:hotpath
+func emitBuffered(n int) {
+	out := make(chan int, 8)
+	go drain(out)
+	for i := 0; i < n; i++ {
+		out <- i
+	}
+	close(out)
+}
+
+// emitZero: an explicit zero capacity is still unbuffered.
+//
+//maya:hotpath
+func emitZero(ticks []int) {
+	out := make(chan int, 0)
+	go drain(out)
+	for _, t := range ticks {
+		out <- t // want "send on unbuffered channel out inside a //maya:hotpath loop"
+	}
+	close(out)
+}
+
+// fanOut is not annotated, but a range-over-channel loop is a tick
+// consumer by shape.
+func fanOut(ticks chan int) {
+	results := make(chan int)
+	go drain(results)
+	for t := range ticks {
+		results <- t * 2 // want "send on unbuffered channel results inside a range-over-channel loop"
+	}
+	close(results)
+}
+
+// fanOutSelect is clean: select makes the blocking explicit and pairs the
+// send with a way out.
+func fanOutSelect(ticks chan int, done chan struct{}) {
+	results := make(chan int)
+	go drain(results)
+	for t := range ticks {
+		select {
+		case results <- t:
+		case <-done:
+			return
+		}
+	}
+	close(results)
+}
+
+// forward is clean: a channel received as a parameter may be buffered by
+// the caller, so nothing is provable.
+func forward(ticks chan int, out chan int) {
+	for t := range ticks {
+		out <- t
+	}
+}

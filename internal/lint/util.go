@@ -47,6 +47,34 @@ func (p *Package) isMethodCall(call *ast.CallExpr) (pkgPath, name string, ok boo
 	return fn.Pkg().Path(), fn.Name(), true
 }
 
+// syncMethodCall reports whether call invokes a method on a sync type
+// (sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Cond, ...), returning
+// the receiver type's name and the method name. Embedded sync fields
+// resolve here too: the selection's obj is still the sync method.
+func (p *Package) syncMethodCall(call *ast.CallExpr) (typeName, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	selection, found := p.Info.Selections[sel]
+	if !found || selection.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	fn := selection.Obj()
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	return named.Obj().Name(), fn.Name(), true
+}
+
 // typeOf returns the expression's type, or nil.
 func (p *Package) typeOf(e ast.Expr) types.Type {
 	if tv, ok := p.Info.Types[e]; ok {
@@ -76,6 +104,15 @@ func isRNGStream(t types.Type) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == "Stream" && obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), "internal/rng")
+}
+
+// chanUnder reports whether t's underlying type is a channel.
+func chanUnder(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
 }
 
 // pathHasSuffix matches an import path suffix on path-segment boundaries.

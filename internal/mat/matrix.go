@@ -83,6 +83,10 @@ func (m *Matrix) Set(i, j int, v float64) {
 	m.data[i*m.cols+j] = v
 }
 
+// check panics on an out-of-range index. The formatted panic only runs on
+// the failure path, so hot callers are not charged for it.
+//
+//maya:coldpath
 func (m *Matrix) check(i, j int) {
 	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
 		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
@@ -203,7 +207,7 @@ func (m *Matrix) MulVec(v []float64) []float64 {
 // It performs no allocation; this is the hot path of the runtime controller.
 func (m *Matrix) MulVecTo(dst, v []float64) {
 	if m.cols != len(v) || m.rows != len(dst) {
-		panic(fmt.Sprintf("mat: MulVecTo dimension mismatch dst[%d] = %dx%d * v[%d]", len(dst), m.rows, m.cols, len(v)))
+		m.badMulVecTo(len(dst), len(v))
 	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
@@ -213,6 +217,14 @@ func (m *Matrix) MulVecTo(dst, v []float64) {
 		}
 		dst[i] = s
 	}
+}
+
+// badMulVecTo panics with the dimension-mismatch detail. The formatting
+// only runs on the failure path, so hot callers are not charged for it.
+//
+//maya:coldpath
+func (m *Matrix) badMulVecTo(dstLen, vLen int) {
+	panic(fmt.Sprintf("mat: MulVecTo dimension mismatch dst[%d] = %dx%d * v[%d]", dstLen, m.rows, m.cols, vLen))
 }
 
 func (m *Matrix) sameShape(b *Matrix, op string) {

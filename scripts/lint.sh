@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # Run mayalint, the project's static-analysis pass, over the whole module.
 # Findings print in file:line:col form and are also written to
-# mayalint-findings.json (an empty array when clean) so CI can upload the
-# machine-readable report as an artifact on failure.
+# mayalint-findings.json (an empty array when clean) and mayalint.sarif
+# (SARIF 2.1.0) so CI can upload machine-readable reports as artifacts.
+#
+# The committed baseline (lint.baseline.json) is applied: new findings
+# fail, audited legacy entries don't, and an entry whose finding was fixed
+# fails as stale so the ledger only ever shrinks. After the analyzers, the
+# suppression audit runs: every //nolint:maya directive must carry a
+# written reason and name a real analyzer (`mayalint -nolint-report`).
 #
 # Usage: scripts/lint.sh [packages...]   (default: ./...)
 #
@@ -11,4 +17,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-go run ./cmd/mayalint -json-file mayalint-findings.json "${@:-./...}"
+go run ./cmd/mayalint \
+    -baseline lint.baseline.json \
+    -json-file mayalint-findings.json \
+    -sarif-file mayalint.sarif \
+    "${@:-./...}"
+
+go run ./cmd/mayalint -nolint-report "${@:-./...}" > /dev/null
