@@ -1,10 +1,8 @@
 package main
 
 import (
-	"encoding/csv"
 	"fmt"
 	"os"
-	"strconv"
 
 	"github.com/maya-defense/maya/internal/core"
 	"github.com/maya-defense/maya/internal/defense"
@@ -139,44 +137,17 @@ func runFleet(o fleetOpts) error {
 }
 
 // writeFleetCSV writes every tenant's per-period trace into one CSV with a
-// leading tenant column, mirroring the scalar writeCSV schema.
+// leading tenant column, mirroring the scalar writeCSV schema. The row
+// encoding lives in fleet.WriteCSV, shared with cmd/mayad's export so the
+// two byte-diff cleanly.
 func writeFleetCSV(path string, results []fleet.TenantResult) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	cw := csv.NewWriter(f)
-	defer cw.Flush()
-	if err := cw.Write([]string{"tenant", "time_s", "power_w", "target_w", "freq_ghz", "idle", "balloon"}); err != nil {
+	if err := fleet.WriteCSV(f, results, nil); err != nil {
+		f.Close()
 		return err
 	}
-	for t, res := range results {
-		targets := res.Targets
-		if res.FirstStep < len(targets) {
-			targets = targets[res.FirstStep:]
-		}
-		for i, p := range res.DefenseSamples {
-			row := []string{
-				strconv.Itoa(t),
-				strconv.FormatFloat(float64(i)*0.02, 'f', 2, 64),
-				strconv.FormatFloat(p, 'f', 3, 64),
-				"",
-				"", "", "",
-			}
-			if i < len(targets) {
-				row[3] = strconv.FormatFloat(targets[i], 'f', 3, 64)
-			}
-			if i < len(res.InputTrace) {
-				in := res.InputTrace[i]
-				row[4] = strconv.FormatFloat(in.FreqGHz, 'f', 1, 64)
-				row[5] = strconv.FormatFloat(in.Idle, 'f', 2, 64)
-				row[6] = strconv.FormatFloat(in.Balloon, 'f', 1, 64)
-			}
-			if err := cw.Write(row); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return f.Close()
 }

@@ -73,60 +73,30 @@ import (
 )
 
 func machineConfig(name string) (sim.Config, error) {
-	switch name {
-	case "sys1":
-		return sim.Sys1(), nil
-	case "sys2":
-		return sim.Sys2(), nil
-	case "sys3":
-		return sim.Sys3(), nil
+	if cfg, ok := sim.PresetByName(name); ok {
+		return cfg, nil
 	}
 	// Anything else is treated as a path to a machine-config JSON file
 	// (start from `mayactl -dump-machine sys1` and tune toward your
 	// hardware's measurements).
 	f, err := os.Open(name)
 	if err != nil {
-		return sim.Config{}, fmt.Errorf("unknown machine %q (sys1, sys2, sys3, or a config JSON path)", name)
+		return sim.Config{}, fmt.Errorf("unknown machine %q (%s, or a config JSON path)",
+			name, strings.Join(sim.PresetNames, ", "))
 	}
 	defer f.Close()
 	return sim.ReadConfigJSON(f)
 }
 
 func defenseKind(name string) (defense.Kind, error) {
-	switch name {
-	case "baseline":
-		return defense.Baseline, nil
-	case "noisy":
-		return defense.NoisyBaseline, nil
-	case "random":
-		return defense.RandomInputs, nil
-	case "constant":
-		return defense.MayaConstant, nil
-	case "gs":
-		return defense.MayaGS, nil
+	if k, ok := defense.KindByName(name); ok {
+		return k, nil
 	}
-	return 0, fmt.Errorf("unknown defense %q (baseline, noisy, random, constant, gs)", name)
+	return 0, fmt.Errorf("unknown defense %q (%s)", name, strings.Join(defense.KindNames, ", "))
 }
 
 func newWorkload(name string, scale float64) (workload.Workload, error) {
-	switch {
-	case strings.HasPrefix(name, "video/"):
-		return workload.NewVideo(strings.TrimPrefix(name, "video/")).Scale(scale), nil
-	case strings.HasPrefix(name, "web/"):
-		return workload.NewPage(strings.TrimPrefix(name, "web/")).Scale(scale), nil
-	case strings.HasPrefix(name, "instr/"):
-		return workload.NewInstrLoop(strings.TrimPrefix(name, "instr/"), 1000), nil
-	case name == "idle":
-		return workload.Idle{}, nil
-	default:
-		for _, n := range workload.AppNames {
-			if n == name {
-				return workload.NewApp(name).Scale(scale), nil
-			}
-		}
-	}
-	return nil, fmt.Errorf("unknown workload %q (try %s, video/<name>, web/<name>, instr/<name>, idle)",
-		name, strings.Join(workload.AppNames, ", "))
+	return workload.New(name, scale)
 }
 
 func main() {

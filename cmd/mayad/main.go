@@ -1,0 +1,108 @@
+// Command mayad is the fleet-defense daemon: a long-running HTTP server
+// that admits defended tenants, steps them on a sharded scheduler built
+// from internal/fleet banks, and serves traces, flight records, and
+// Prometheus telemetry back out.
+//
+// Usage:
+//
+//	mayad [-addr :8787] [-shards 2] [-max-tenants 64] [-queue 16]
+//	      [-spill 4096] [-spool dir] [-pace 0] [-addr-file path]
+//
+// API (all JSON unless noted):
+//
+//	POST   /tenants            admit a tenant (TenantSpec body) — 201, or
+//	                           503 + Retry-After when shedding load
+//	GET    /tenants            list tenants
+//	GET    /tenants/{id}       one tenant's status
+//	DELETE /tenants/{id}       evict a tenant
+//	GET    /tenants/{id}/trace?format=csv|json|mayt   finished trace
+//	GET    /tenants/{id}/flight                       flight JSONL
+//	GET    /traces.csv         all finished tenants as one fleet CSV
+//	GET    /spill              drain the streaming sample buffers
+//	GET    /healthz            ok / draining
+//	GET    /metrics            Prometheus telemetry (via debugsrv)
+//
+// A tenant admitted with (seed, index) reproduces — byte for byte — slot
+// `index` of `mayactl -fleet -seed <seed>` with the same machine,
+// defense, workload, and duration, regardless of shard count or which
+// other tenants are resident.
+//
+// On SIGINT/SIGTERM the daemon drains: admissions shed with 503, shards
+// finalize at the next control-period boundary (every tenant's partial
+// trace is a bit-identical prefix of its full run), traces spool to
+// -spool, and the HTTP server shuts down gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/maya-defense/maya/internal/debugsrv"
+	"github.com/maya-defense/maya/internal/mayad"
+	"github.com/maya-defense/maya/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8787", "listen address (host:port; :0 picks a free port)")
+	shards := flag.Int("shards", 2, "scheduler worker shards")
+	maxTenants := flag.Int("max-tenants", 64, "resident-tenant cap; admissions beyond it shed with 503")
+	queue := flag.Int("queue", 16, "per-shard admission queue depth")
+	spill := flag.Int("spill", 4096, "per-bank spill buffer bound (drop-oldest past it)")
+	spool := flag.String("spool", "", "directory for tenant traces flushed at drain (empty = no spool)")
+	pace := flag.Duration("pace", 0, "sleep between scheduler passes (0 = run flat out)")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (for scripts using :0)")
+	drainTimeout := flag.Duration("drain-timeout", debugsrv.DefaultDrainTimeout, "bound on the HTTP graceful-shutdown drain")
+	flag.Parse()
+
+	if err := run(*addr, *addrFile, *drainTimeout, mayad.Config{
+		Shards:     *shards,
+		MaxTenants: *maxTenants,
+		QueueDepth: *queue,
+		SpillLimit: *spill,
+		SpoolDir:   *spool,
+		Pace:       *pace,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "mayad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile string, drainTimeout time.Duration, cfg mayad.Config) error {
+	reg := telemetry.NewRegistry()
+	srv := mayad.New(cfg, reg)
+	srv.Start()
+
+	// The HTTP server outlives the signal context on purpose: at
+	// shutdown the scheduler drains first (status stays queryable), then
+	// the server closes gracefully.
+	dbg, err := debugsrv.ServeHandler(context.Background(), addr, reg, srv.Handler())
+	if err != nil {
+		return err
+	}
+	dbg.SetDrainTimeout(drainTimeout)
+	fmt.Printf("mayad: listening on %s (%d shards, max %d tenants)\n",
+		dbg.Addr(), cfg.Shards, cfg.MaxTenants)
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(dbg.Addr()+"\n"), 0o644); err != nil {
+			dbg.Close()
+			return err
+		}
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	<-ctx.Done()
+
+	fmt.Println("mayad: draining")
+	srv.Drain()
+	if err := dbg.Close(); err != nil {
+		return err
+	}
+	fmt.Println("mayad: stopped")
+	return nil
+}

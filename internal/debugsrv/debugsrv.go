@@ -1,9 +1,17 @@
-// Package debugsrv is the shared debug HTTP server behind every binary's
-// -debug-addr flag: net/http/pprof endpoints plus the telemetry registry as
-// a Prometheus /metrics page, on a private mux (nothing leaks onto
+// Package debugsrv is the shared hardened HTTP server behind every
+// binary's -debug-addr flag (and the whole front door of cmd/mayad):
+// net/http/pprof endpoints plus the telemetry registry as a Prometheus
+// /metrics page, on a private mux (nothing leaks onto
 // http.DefaultServeMux). Serving is opt-in and observational only — the
 // pipeline's behavior and report bytes are identical with the server on or
 // off.
+//
+// The server is hardened against stalled clients: conservative
+// ReadHeaderTimeout/ReadTimeout/IdleTimeout mean one Slowloris connection
+// cannot pin a goroutine forever, and shutdown — by context cancel or an
+// explicit Close — is graceful: in-flight responses (a /metrics scrape
+// mid-body, a pprof profile mid-stream) finish within a bounded drain
+// deadline before connections are forced closed.
 //
 // Starting the server also registers the maya_build_info metric: a
 // constant-1 info gauge whose version label carries expcache.CodeVersion(),
@@ -14,21 +22,50 @@ package debugsrv
 
 import (
 	"context"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
+	"time"
 
 	"github.com/maya-defense/maya/internal/expcache"
 	"github.com/maya-defense/maya/internal/telemetry"
 )
 
+// Hardening knobs for every server this package builds. The read-side
+// timeouts bound how long a client may dribble a request (Slowloris);
+// WriteTimeout stays unset because the pprof profile/trace endpoints
+// legitimately stream for a caller-chosen number of seconds.
+const (
+	// readHeaderTimeout bounds reading one request's header block.
+	readHeaderTimeout = 10 * time.Second
+	// readTimeout bounds reading one whole request (header + body).
+	readTimeout = time.Minute
+	// idleTimeout reclaims keep-alive connections with no next request.
+	idleTimeout = 2 * time.Minute
+	// DefaultDrainTimeout bounds the graceful-shutdown drain: in-flight
+	// responses get this long to finish before connections are closed.
+	DefaultDrainTimeout = 5 * time.Second
+)
+
 // Server is a running debug server. Close it explicitly or cancel the
 // context passed to Serve.
 type Server struct {
-	ln   net.Listener
-	srv  *http.Server
+	ln  net.Listener
+	srv *http.Server
+	// done closes when the server is fully stopped: the serve loop has
+	// exited AND, on the graceful path, the drain has completed. (Serve
+	// returns the moment Shutdown begins, so serve-loop exit alone does
+	// not mean in-flight responses are finished.)
 	done chan struct{}
+	// drained closes when shutdown()'s graceful drain returns.
+	drained chan struct{}
+
+	drainTimeout time.Duration
+	shutOnce     sync.Once
+	shutErr      error
 }
 
 // RegisterBuildInfo registers the maya_build_info metric on reg: constant
@@ -66,39 +103,98 @@ func Handler(reg *telemetry.Registry) http.Handler {
 // Close is called). It registers maya_build_info on reg before serving.
 // addr may use port 0; the bound address is available from Addr.
 func Serve(ctx context.Context, addr string, reg *telemetry.Registry) (*Server, error) {
+	return ServeHandler(ctx, addr, reg, nil)
+}
+
+// ServeHandler is Serve with an application handler mounted in front of
+// the debug mux: requests for /metrics and /debug/pprof/* go to the debug
+// endpoints, everything else to app (404 when app is nil). This is how a
+// long-running service (cmd/mayad) reuses the hardened server — one
+// listener carries the API and its own observability.
+func ServeHandler(ctx context.Context, addr string, reg *telemetry.Registry, app http.Handler) (*Server, error) {
 	RegisterBuildInfo(reg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		ln:   ln,
-		srv:  &http.Server{Handler: Handler(reg)},
-		done: make(chan struct{}),
+	h := Handler(reg)
+	if app != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", h)
+		mux.Handle("/debug/pprof/", h)
+		mux.Handle("/", app)
+		h = mux
 	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           h,
+			ReadHeaderTimeout: readHeaderTimeout,
+			ReadTimeout:       readTimeout,
+			IdleTimeout:       idleTimeout,
+		},
+		done:         make(chan struct{}),
+		drained:      make(chan struct{}),
+		drainTimeout: DefaultDrainTimeout,
+	}
+	// Serve returns http.ErrServerClosed the moment a graceful shutdown
+	// begins; in-flight responses are still draining then, so done
+	// additionally waits for the drain. The wait needs no ctx arm: ctx
+	// cancellation is what triggers shutdown, whose deadline guarantees
+	// drained closes.
+	//nolint:maya/ctxprop drained is closed by the ctx-triggered shutdown itself
 	go func() {
 		defer close(s.done)
-		// Serve returns http.ErrServerClosed on shutdown; any other error
-		// means the listener died, which the owner observes via Wait/Close.
-		_ = s.srv.Serve(ln)
+		if err := s.srv.Serve(ln); errors.Is(err, http.ErrServerClosed) {
+			<-s.drained
+		}
 	}()
 	go func() {
 		select {
 		case <-ctx.Done():
-			_ = s.srv.Close()
+			s.shutdown()
 		case <-s.done:
 		}
 	}()
 	return s, nil
 }
 
+// SetDrainTimeout overrides the graceful-shutdown drain deadline (the
+// default is DefaultDrainTimeout). Call it before shutting down.
+func (s *Server) SetDrainTimeout(d time.Duration) { s.drainTimeout = d }
+
+// shutdown drains the server gracefully: the listener closes immediately
+// (no new connections), in-flight responses get drainTimeout to finish,
+// then remaining connections are force-closed. Idempotent; concurrent
+// callers share one drain.
+func (s *Server) shutdown() error {
+	s.shutOnce.Do(func() {
+		defer close(s.drained)
+		ctx, cancel := context.WithTimeout(context.Background(), s.drainTimeout)
+		defer cancel()
+		err := s.srv.Shutdown(ctx)
+		if err != nil {
+			// The drain deadline passed with responses still in flight:
+			// force-close them rather than hang the owner forever.
+			_ = s.srv.Close()
+		}
+		s.shutErr = err
+	})
+	return s.shutErr
+}
+
 // Addr returns the server's bound address ("127.0.0.1:43210").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and waits for the serve loop to exit.
+// Close gracefully stops the server and waits for the serve loop to exit.
+// In-flight responses get the drain deadline to complete. The expected
+// shutdown sentinel (http.ErrServerClosed) is not an error.
 func (s *Server) Close() error {
-	err := s.srv.Close()
+	err := s.shutdown()
 	<-s.done
+	if errors.Is(err, http.ErrServerClosed) || errors.Is(err, net.ErrClosed) {
+		err = nil
+	}
 	return err
 }
 

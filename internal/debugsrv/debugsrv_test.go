@@ -210,3 +210,193 @@ func TestServeBadAddr(t *testing.T) {
 		t.Fatal("bad address must error")
 	}
 }
+
+// TestCloseReturnsNilOnCleanShutdown pins the Close error contract: a
+// normal shutdown must not surface http.ErrServerClosed (or any other
+// sentinel of the expected path) to the caller.
+func TestCloseReturnsNilOnCleanShutdown(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := Serve(context.Background(), "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after clean serve: %v", err)
+	}
+	// Close after the context path already shut the server down must also
+	// be clean.
+	ctx, cancel := context.WithCancel(context.Background())
+	s2, err := Serve(ctx, "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	s2.Wait()
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close after context cancel: %v", err)
+	}
+}
+
+// TestGracefulShutdownDrainsInflightScrape is the regression test for the
+// old behavior where context cancel called srv.Close and cut in-flight
+// /metrics responses mid-body. A slow scrape — headers and half the body
+// sent, the rest gated on a channel — must complete intact even though the
+// context is cancelled while it is in flight.
+func TestGracefulShutdownDrainsInflightScrape(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow-scrape", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, "# TYPE slow_scrape_total counter\n")
+		w.(http.Flusher).Flush()
+		close(inHandler)
+		<-release
+		fmt.Fprint(w, "slow_scrape_total 1\n")
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := ServeHandler(ctx, "127.0.0.1:0", reg, mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/slow-scrape", s.Addr()))
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{body: string(body), err: err}
+	}()
+
+	<-inHandler
+	cancel() // shutdown begins with the scrape mid-body
+
+	// The serve loop must keep draining (not exit) while the response is
+	// still being written.
+	waited := make(chan struct{})
+	go func() { s.Wait(); close(waited) }()
+	select {
+	case <-waited:
+		t.Fatal("server exited with a response still in flight")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("in-flight scrape cut by shutdown: %v", r.err)
+		}
+		want := "# TYPE slow_scrape_total counter\nslow_scrape_total 1\n"
+		if r.body != want {
+			t.Fatalf("scrape body truncated: %q", r.body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("scrape never completed")
+	}
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not exit after the drain finished")
+	}
+}
+
+// TestDrainDeadlineForcesClose proves the graceful drain is bounded: a
+// handler that never finishes cannot hold shutdown hostage past the drain
+// timeout.
+func TestDrainDeadlineForcesClose(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	inHandler := make(chan struct{})
+	hang := make(chan struct{})
+	defer close(hang)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hang", func(w http.ResponseWriter, _ *http.Request) {
+		w.(http.Flusher).Flush()
+		close(inHandler)
+		<-hang
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := ServeHandler(ctx, "127.0.0.1:0", reg, mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetDrainTimeout(50 * time.Millisecond)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/hang", s.Addr()))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-inHandler
+	cancel()
+	waited := make(chan struct{})
+	go func() { s.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain deadline did not force the server closed")
+	}
+}
+
+// TestServeHandlerRouting checks the mount split: debug endpoints answer
+// from the debug mux, everything else from the app handler.
+func TestServeHandlerRouting(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/ping", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "pong")
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := ServeHandler(ctx, "127.0.0.1:0", reg, mux)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cancel(); s.Wait() })
+
+	resp := get(t, fmt.Sprintf("http://%s/api/ping", s.Addr()))
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "pong" {
+		t.Fatalf("app handler not mounted: %q", body)
+	}
+	resp = get(t, fmt.Sprintf("http://%s/metrics", s.Addr()))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "maya_build_info") {
+		t.Fatalf("/metrics not served from debug mux:\n%.200s", body)
+	}
+	if resp := get(t, fmt.Sprintf("http://%s/debug/pprof/", s.Addr())); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}
+
+// TestServerTimeoutsConfigured pins the Slowloris hardening: every server
+// this package builds must bound header reads, whole-request reads, and
+// idle keep-alive lifetimes.
+func TestServerTimeoutsConfigured(t *testing.T) {
+	s, _, _ := startServer(t)
+	if s.srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: a stalled header pins the connection forever")
+	}
+	if s.srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset: a dribbled body pins the connection forever")
+	}
+	if s.srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alive connections are never reclaimed")
+	}
+}

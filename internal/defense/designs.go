@@ -31,6 +31,31 @@ const (
 // Kinds lists all designs in Table V order.
 var Kinds = []Kind{Baseline, NoisyBaseline, RandomInputs, MayaConstant, MayaGS}
 
+// KindNames lists the short identifiers KindByName accepts, in Kinds order.
+var KindNames = []string{"baseline", "noisy", "random", "constant", "gs"}
+
+// KindByName resolves the short command-line/API identifiers used by
+// mayactl's -defense flag and mayad's admission API.
+func KindByName(name string) (Kind, bool) {
+	switch name {
+	case "baseline":
+		return Baseline, true
+	case "noisy":
+		return NoisyBaseline, true
+	case "random":
+		return RandomInputs, true
+	case "constant":
+		return MayaConstant, true
+	case "gs":
+		return MayaGS, true
+	}
+	return 0, false
+}
+
+// IsMaya reports whether the kind runs the formal controller (and so
+// supports guards, flight recording, and mask targets).
+func (k Kind) IsMaya() bool { return k == MayaConstant || k == MayaGS }
+
 // String implements fmt.Stringer.
 func (k Kind) String() string {
 	switch k {

@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes every tenant's per-period trace as one CSV with a
+// leading tenant column:
+//
+//	tenant,time_s,power_w,target_w,freq_ghz,idle,balloon
+//
+// ids supplies the tenant-column value per result (nil means slice
+// positions 0..N-1). The encoding is shared by `mayactl -fleet -csv` and
+// cmd/mayad's /traces.csv export — one implementation, so a daemon-served
+// trace byte-diffs cleanly against a solo mayactl run.
+func WriteCSV(w io.Writer, results []TenantResult, ids []int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"tenant", "time_s", "power_w", "target_w", "freq_ghz", "idle", "balloon"}); err != nil {
+		return err
+	}
+	for i, res := range results {
+		id := i
+		if ids != nil {
+			id = ids[i]
+		}
+		targets := res.Targets
+		if res.FirstStep < len(targets) {
+			targets = targets[res.FirstStep:]
+		}
+		for j, p := range res.DefenseSamples {
+			row := []string{
+				strconv.Itoa(id),
+				strconv.FormatFloat(float64(j)*0.02, 'f', 2, 64),
+				strconv.FormatFloat(p, 'f', 3, 64),
+				"",
+				"", "", "",
+			}
+			if j < len(targets) {
+				row[3] = strconv.FormatFloat(targets[j], 'f', 3, 64)
+			}
+			if j < len(res.InputTrace) {
+				in := res.InputTrace[j]
+				row[4] = strconv.FormatFloat(in.FreqGHz, 'f', 1, 64)
+				row[5] = strconv.FormatFloat(in.Idle, 'f', 2, 64)
+				row[6] = strconv.FormatFloat(in.Balloon, 'f', 1, 64)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

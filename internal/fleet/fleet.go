@@ -58,6 +58,13 @@ type Spec struct {
 	Tenants     int
 	// BaseSeed roots every tenant's seed derivation (see TenantSeeds).
 	BaseSeed uint64
+	// SeedAt, when non-nil, overrides per-tenant seed derivation: it
+	// returns slot t's four run seeds in TenantSeeds order. This is how a
+	// daemon packs tenants with unrelated identities into one bank — each
+	// slot carries TenantSeeds(itsOwnSeed, itsOwnIndex) — while staying
+	// bit-identical to a solo run with those seeds. Nil derives
+	// TenantSeeds(BaseSeed, t).
+	SeedAt func(t int) (machine, work, policy, faults uint64)
 	// NewWorkload builds one tenant's workload (it is Reset with the
 	// tenant's workload seed). Nil runs every tenant idle.
 	NewWorkload func() workload.Workload
@@ -125,6 +132,20 @@ type Engine struct {
 
 	metrics *Metrics
 	spill   *Spill
+
+	// Incremental-run state (Start/StepPeriod/Results). Run wraps the
+	// three; a daemon interleaves them with admissions and evictions.
+	res         []TenantResult
+	startEnergy []float64
+	step        int
+	tick        int
+	started     bool
+	finished    bool
+	// dead marks evicted slots: they keep stepping (per-tenant
+	// independence makes that invisible to the survivors) but stop
+	// recording, and their accumulated buffers are released.
+	dead  []bool
+	alive int
 }
 
 // New assembles a fleet. It panics on an invalid spec (like sim.NewMachine
@@ -160,6 +181,8 @@ func New(spec Spec) *Engine {
 		pres:      make([]core.StepPre, T),
 		stepRes:   make([]sim.StepResult, T),
 		idle:      make([]workload.Workload, T),
+		dead:      make([]bool, T),
+		alive:     T,
 	}
 	if maya {
 		e.engines = make([]*core.Engine, T)
@@ -167,14 +190,20 @@ func New(spec Spec) *Engine {
 		e.policies = make([]sim.Policy, T)
 	}
 
+	seedAt := spec.SeedAt
+	if seedAt == nil {
+		seedAt = func(t int) (uint64, uint64, uint64, uint64) {
+			return TenantSeeds(spec.BaseSeed, t)
+		}
+	}
 	machineSeeds := make([]uint64, T)
 	for t := 0; t < T; t++ {
-		machineSeeds[t], _, _, _ = TenantSeeds(spec.BaseSeed, t)
+		machineSeeds[t], _, _, _ = seedAt(t)
 	}
 	e.bank = sim.NewMachineBank(spec.Config, machineSeeds)
 
 	for t := 0; t < T; t++ {
-		_, ws, ps, fs := TenantSeeds(spec.BaseSeed, t)
+		_, ws, ps, fs := seedAt(t)
 		if !spec.Plan.Empty() {
 			e.injectors[t] = fault.MustNew(spec.Plan, fs)
 			e.injectors[t].AttachHooks(e.bank.Tenant(t))
@@ -287,24 +316,40 @@ func (e *Engine) decideAll(step int) {
 // The loop is sim.Run transcribed over the bank: identical per-tenant
 // phase order (step machine → observe sensor → period boundary: read,
 // decide, actuate), so every tenant's recorded trace matches its scalar
-// twin's bit for bit.
+// twin's bit for bit. Run is Start + StepPeriod-to-exhaustion + Results;
+// incremental callers (cmd/mayad's shard scheduler) drive the three
+// directly so admissions and evictions can interleave with the run.
 func (e *Engine) Run() []TenantResult {
+	e.Start()
+	for e.StepPeriod() {
+	}
+	return e.Results()
+}
+
+// Start runs the initial decision and the unrecorded warmup, then arms
+// recording: after Start, StepPeriod advances the recorded run one
+// control period at a time. Start may be called once.
+func (e *Engine) Start() {
+	if e.started {
+		panic("fleet: Engine.Start called twice")
+	}
+	e.started = true
 	spec := e.spec
 	T := spec.Tenants
 	if e.metrics != nil {
 		e.metrics.Tenants.Set(float64(T))
 	}
-	res := make([]TenantResult, T)
-	for t := range res {
-		res[t].FinishedTick = -1
+	e.res = make([]TenantResult, T)
+	for t := range e.res {
+		e.res[t].FinishedTick = -1
 	}
-	step := 0
+	e.step = 0
 
 	// Initial decision before any power is read.
 	for t := range e.pw {
 		e.pw[t] = 0
 	}
-	e.decideAll(step)
+	e.decideAll(e.step)
 	e.bank.SetInputsAll(e.ins)
 
 	// Unrecorded warmup: the defense regulates the idle fleet.
@@ -317,26 +362,42 @@ func (e *Engine) Run() []TenantResult {
 			for t := range e.sensors {
 				e.pw[t] = e.sensors[t].ReadW()
 			}
-			step++
-			e.decideAll(step)
+			e.step++
+			e.decideAll(e.step)
 			e.bank.SetInputsAll(e.ins)
 		}
 	}
 
-	startEnergy := make([]float64, T)
+	e.startEnergy = make([]float64, T)
 	for t := 0; t < T; t++ {
-		startEnergy[t] = e.bank.TrueEnergyJ(t)
-		res[t].FirstStep = step
-		res[t].InputTrace = append(res[t].InputTrace, e.bank.Inputs(t))
+		e.startEnergy[t] = e.bank.TrueEnergyJ(t)
+		e.res[t].FirstStep = e.step
+		e.res[t].InputTrace = append(e.res[t].InputTrace, e.bank.Inputs(t))
 	}
-	for tick := 0; tick < spec.MaxTicks; tick++ {
+}
+
+// StepPeriod advances the recorded run by one control period (or the
+// trailing partial period when MaxTicks is not a period multiple) and
+// reports whether ticks remain. It must follow Start.
+func (e *Engine) StepPeriod() bool {
+	if !e.started {
+		panic("fleet: Engine.StepPeriod before Start")
+	}
+	spec := e.spec
+	T := spec.Tenants
+	res := e.res
+	for e.tick < spec.MaxTicks {
+		tick := e.tick
 		tPhase := e.clock()
 		e.bank.StepAll(e.workloads, e.stepRes)
 		for t := 0; t < T; t++ {
 			r := e.stepRes[t]
+			e.sensors[t].Observe(r)
+			if e.dead[t] {
+				continue
+			}
 			res[t].TickPowerW = append(res[t].TickPowerW, r.PowerW)
 			res[t].TickWallW = append(res[t].TickWallW, r.WallW)
-			e.sensors[t].Observe(r)
 			if r.Finished && res[t].FinishedTick < 0 {
 				res[t].FinishedTick = int64(tick) + 1
 			}
@@ -347,18 +408,21 @@ func (e *Engine) Run() []TenantResult {
 			e.metrics.MachineNs.Add(uint64(tNow - tPhase))
 			tPhase = tNow
 		}
+		e.tick++
 		if (tick+1)%spec.PeriodTicks == 0 {
 			for t := 0; t < T; t++ {
 				e.pw[t] = e.sensors[t].ReadW()
-				res[t].DefenseSamples = append(res[t].DefenseSamples, e.pw[t])
+				if !e.dead[t] {
+					res[t].DefenseSamples = append(res[t].DefenseSamples, e.pw[t])
+				}
 			}
 			if e.metrics != nil {
 				tNow := e.clock()
 				e.metrics.SenseNs.Add(uint64(tNow - tPhase))
 				tPhase = tNow
 			}
-			step++
-			e.decideAll(step)
+			e.step++
+			e.decideAll(e.step)
 			if e.metrics != nil {
 				e.metrics.Periods.Inc()
 				tNow := e.clock()
@@ -367,21 +431,45 @@ func (e *Engine) Run() []TenantResult {
 			}
 			e.bank.SetInputsAll(e.ins)
 			for t := 0; t < T; t++ {
-				res[t].InputTrace = append(res[t].InputTrace, e.bank.Inputs(t))
+				if !e.dead[t] {
+					res[t].InputTrace = append(res[t].InputTrace, e.bank.Inputs(t))
+				}
 			}
 			if e.metrics != nil {
 				e.metrics.ActuateNs.Add(uint64(e.clock() - tPhase))
 			}
 			if e.spill != nil {
 				for t := 0; t < T; t++ {
-					e.spill.push(Sample{Step: step, Tenant: t, PowerW: e.pw[t]})
+					if !e.dead[t] {
+						e.spill.push(Sample{Step: e.step, Tenant: t, PowerW: e.pw[t]})
+					}
 				}
 			}
+			break
 		}
 	}
-	for t := 0; t < T; t++ {
-		res[t].EnergyJ = e.bank.TrueEnergyJ(t) - startEnergy[t]
-		res[t].Seconds = float64(len(res[t].TickPowerW)) * spec.Config.TickSeconds
+	return e.tick < spec.MaxTicks
+}
+
+// Results finalizes and returns one result per tenant slot: exactly what
+// Run returns when the run consumed MaxTicks, and a bit-identical prefix
+// of that when called early (a daemon draining mid-run). Evicted slots
+// are zero. Results may be called once.
+func (e *Engine) Results() []TenantResult {
+	if !e.started {
+		panic("fleet: Engine.Results before Start")
+	}
+	if e.finished {
+		panic("fleet: Engine.Results called twice")
+	}
+	e.finished = true
+	res := e.res
+	for t := 0; t < e.spec.Tenants; t++ {
+		if e.dead[t] {
+			continue
+		}
+		res[t].EnergyJ = e.bank.TrueEnergyJ(t) - e.startEnergy[t]
+		res[t].Seconds = float64(len(res[t].TickPowerW)) * e.spec.Config.TickSeconds
 		if e.engines != nil {
 			res[t].Targets = e.engines[t].Targets
 			res[t].Flight = e.engines[t].Flight()
@@ -392,6 +480,33 @@ func (e *Engine) Run() []TenantResult {
 	}
 	return res
 }
+
+// Evict stops recording slot t and releases its accumulated buffers. The
+// slot's machine and controller keep stepping — tenant slabs are fully
+// independent, so the survivors' traces are unchanged whether an evicted
+// neighbor steps or not, and continuing to step costs no extra code path.
+// Evicting every slot leaves a bank that is pure overhead; the owner
+// should drop it.
+func (e *Engine) Evict(t int) {
+	if e.dead[t] {
+		return
+	}
+	e.dead[t] = true
+	e.alive--
+	if e.res != nil {
+		e.res[t] = TenantResult{}
+	}
+}
+
+// Alive reports how many slots have not been evicted.
+func (e *Engine) Alive() int { return e.alive }
+
+// Step reports the control-step counter (warmup steps included); Tick
+// reports recorded machine ticks consumed, up to Spec.MaxTicks.
+func (e *Engine) Step() int { return e.step }
+
+// Tick reports how many recorded machine ticks have run.
+func (e *Engine) Tick() int { return e.tick }
 
 // Engines returns the per-tenant engines (Maya kinds; nil otherwise).
 func (e *Engine) Engines() []*core.Engine { return e.engines }

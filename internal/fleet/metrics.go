@@ -26,6 +26,10 @@ type Metrics struct {
 	SenseNs   *telemetry.Counter
 	ControlNs *telemetry.Counter
 	ActuateNs *telemetry.Counter
+	// SpillDropped counts samples a bounded Spill discarded (drop-oldest)
+	// because no subscriber drained them; wire it with
+	// Spill.SetDropCounter.
+	SpillDropped *telemetry.Counter
 }
 
 // NewMetrics registers the fleet instruments. Multiple fleets may share a
@@ -39,6 +43,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		SenseNs:   reg.Counter("maya_fleet_sense_ns_total", "host ns in per-tenant sensor reads"),
 		ControlNs: reg.Counter("maya_fleet_control_ns_total", "host ns in the batched control decision"),
 		ActuateNs: reg.Counter("maya_fleet_actuate_ns_total", "host ns in the batched actuator commit"),
+		SpillDropped: reg.Counter("maya_fleet_spill_dropped_total",
+			"spill samples discarded by drop-oldest because no reader drained"),
 	}
 }
 

@@ -170,6 +170,23 @@ func Sys3() Config {
 	}
 }
 
+// PresetNames lists the built-in machine identifiers PresetByName accepts.
+var PresetNames = []string{"sys1", "sys2", "sys3"}
+
+// PresetByName resolves a built-in machine preset by its short name, the
+// form shared by mayactl's -machine flag and mayad's admission API.
+func PresetByName(name string) (Config, bool) {
+	switch name {
+	case "sys1":
+		return Sys1(), true
+	case "sys2":
+		return Sys2(), true
+	case "sys3":
+		return Sys3(), true
+	}
+	return Config{}, false
+}
+
 // Inputs are the raw (physical-unit) settings of the three actuators.
 type Inputs struct {
 	FreqGHz float64 // DVFS setting

@@ -1,6 +1,47 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
+
+// New resolves a workload by the name grammar shared across the tools
+// (mayactl's -workload flag, mayad's admission API): a PARSEC/SPLASH app
+// label, "video/<name>", "web/<name>", "instr/<name>", or "idle". Scale
+// multiplies phase work for app, video, and web programs; instruction
+// loops and idle ignore it (they have no work budget to stretch).
+func New(name string, scale float64) (Workload, error) {
+	switch {
+	case strings.HasPrefix(name, "video/"):
+		v := strings.TrimPrefix(name, "video/")
+		if _, ok := videoSpecs[v]; !ok {
+			return nil, fmt.Errorf("unknown video %q (%s)", v, strings.Join(VideoNames, ", "))
+		}
+		return NewVideo(v).Scale(scale), nil
+	case strings.HasPrefix(name, "web/"):
+		p := strings.TrimPrefix(name, "web/")
+		if _, ok := pageSpecs[p]; !ok {
+			return nil, fmt.Errorf("unknown page %q (%s)", p, strings.Join(PageNames, ", "))
+		}
+		return NewPage(p).Scale(scale), nil
+	case strings.HasPrefix(name, "instr/"):
+		in := strings.TrimPrefix(name, "instr/")
+		if _, ok := instrActivity[in]; !ok {
+			return nil, fmt.Errorf("unknown instruction %q (%s)", in, strings.Join(InstrNames, ", "))
+		}
+		return NewInstrLoop(in, 1000), nil
+	case name == "idle":
+		return Idle{}, nil
+	default:
+		for _, n := range AppNames {
+			if n == name {
+				return NewApp(name).Scale(scale), nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q (try %s, video/<name>, web/<name>, instr/<name>, idle)",
+		name, strings.Join(AppNames, ", "))
+}
 
 // CatalogEntry describes one built-in workload for tooling and help output.
 type CatalogEntry struct {
